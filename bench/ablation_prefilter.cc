@@ -1,0 +1,55 @@
+// Copyright (c) SkyBench-NG contributors.
+// Design-choice ablation (paper §VI-A1): Hybrid with and without the
+// β-priority-queue pre-filter. The paper argues the pre-filter nearly
+// solves correlated workloads by itself but is a fixed overhead that is
+// "not amortized" on small inputs.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sky {
+namespace {
+
+void Run(const BenchConfig& cfg) {
+  const size_t n = cfg.n_override ? cfg.n_override
+                                  : (cfg.full ? 1'000'000 : 50'000);
+  const int d = cfg.d_override ? cfg.d_override : 8;
+  const int t = cfg.max_threads > 0 ? cfg.max_threads : (cfg.full ? 16 : 4);
+
+  std::printf("== Ablation: Hybrid pre-filter on/off (n=%zu, d=%d, t=%d) ==\n",
+              n, d, t);
+  Table table({"distribution", "off (s)", "on (s)", "removed", "removed %"});
+  for (const Distribution dist : AllDistributions()) {
+    WorkloadSpec spec{dist, n, d, cfg.seed};
+    const Dataset& data = WorkloadCache::Instance().Get(spec);
+    Options off;
+    off.algorithm = Algorithm::kHybrid;
+    off.threads = t;
+    off.prefilter_beta = 0;
+    Options on = off;
+    on.prefilter_beta = 8;
+    const RunStats so = RunTimed(data, off, cfg.repeats, cfg.verify).stats;
+    const RunStats si = RunTimed(data, on, cfg.repeats, cfg.verify).stats;
+    table.AddRow({DistributionName(dist), Table::Num(so.total_seconds),
+                  Table::Num(si.total_seconds),
+                  Table::Int(si.prefiltered_points),
+                  Table::Num(100.0 * static_cast<double>(
+                                         si.prefiltered_points) /
+                                 static_cast<double>(n),
+                             1)});
+    WorkloadCache::Instance().Clear();
+  }
+  Emit(table, cfg);
+  std::printf(
+      "\nExpected shape: on correlated data the pre-filter removes the "
+      "vast majority of points; on anticorrelated data it removes little "
+      "and is near-neutral in cost.\n");
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) {
+  sky::Run(sky::BenchConfig::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Copyright (c) SkyBench-NG contributors.
+// Helpers shared by the figure/table benchmark binaries.
+#ifndef SKY_BENCH_BENCH_UTIL_H_
+#define SKY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.h"
+#include "bench_support/table.h"
+#include "bench_support/workload.h"
+
+namespace sky {
+
+/// Time one algorithm on a workload; returns the median-run stats.
+inline RunStats TimeAlgo(const Dataset& data, Algorithm algo, int threads,
+                         const BenchConfig& cfg, size_t alpha = 0,
+                         PivotPolicy pivot = PivotPolicy::kMedian) {
+  Options o;
+  o.algorithm = algo;
+  o.threads = threads;
+  o.alpha = alpha;
+  o.pivot = pivot;
+  return RunTimed(data, o, cfg.repeats, cfg.verify).stats;
+}
+
+/// The paper's five headline algorithms (Figs. 5 and 6) with the thread
+/// counts they run at (sequential BSkyTree at t=1, the rest at t).
+struct HeadlineAlgo {
+  Algorithm algo;
+  bool parallel;
+};
+
+inline std::vector<HeadlineAlgo> HeadlineAlgos() {
+  return {{Algorithm::kBSkyTree, false},
+          {Algorithm::kHybrid, true},
+          {Algorithm::kPBSkyTree, true},
+          {Algorithm::kQFlow, true},
+          {Algorithm::kPSkyline, true}};
+}
+
+inline std::vector<Distribution> AllDistributions() {
+  return {Distribution::kCorrelated, Distribution::kIndependent,
+          Distribution::kAnticorrelated};
+}
+
+inline void Emit(const Table& table, const BenchConfig& cfg) {
+  if (cfg.csv) {
+    std::fputs(table.ToCsv().c_str(), stdout);
+  } else {
+    table.Print();
+  }
+}
+
+}  // namespace sky
+
+#endif  // SKY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Copyright (c) SkyBench-NG contributors.
+// Reproduces paper Fig. 8: Hybrid execution time decomposed into Init /
+// Pre-filter / Pivot / Phase I / Phase II / Compress / Other as a
+// function of α.
+//
+// Paper shape to reproduce: α matters less than for Q-Flow (≤2x), optimum
+// near 2^10; on correlated data pre-filtering is half the (tiny) cost and
+// Phases I/II are nearly empty; on indep/anti the parallel phases combine
+// for up to ~95% of the time.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sky {
+namespace {
+
+void Run(const BenchConfig& cfg) {
+  const size_t n = cfg.n_override ? cfg.n_override
+                                  : (cfg.full ? 1'000'000 : 20'000);
+  const int d = cfg.d_override ? cfg.d_override : (cfg.full ? 12 : 8);
+  const int t = cfg.max_threads > 0 ? cfg.max_threads : (cfg.full ? 16 : 4);
+
+  for (const Distribution dist : AllDistributions()) {
+    std::printf(
+        "== Fig. 8: Hybrid phases vs alpha — %s (n=%zu d=%d t=%d) ==\n",
+        DistributionName(dist), n, d, t);
+    WorkloadSpec spec{dist, n, d, cfg.seed};
+    const Dataset& data = WorkloadCache::Instance().Get(spec);
+    Table table({"alpha", "init", "prefilter", "pivot", "phase1", "phase2",
+                 "compress", "other", "total", "par%"});
+    for (int log_alpha = 7; log_alpha <= 16; log_alpha += 3) {
+      const size_t alpha = size_t{1} << log_alpha;
+      const RunStats st = TimeAlgo(data, Algorithm::kHybrid, t, cfg, alpha);
+      const double par = st.total_seconds > 0
+                             ? 100.0 * (st.phase1_seconds + st.phase2_seconds) /
+                                   st.total_seconds
+                             : 0.0;
+      table.AddRow({"2^" + std::to_string(log_alpha),
+                    Table::Num(st.init_seconds),
+                    Table::Num(st.prefilter_seconds),
+                    Table::Num(st.pivot_seconds),
+                    Table::Num(st.phase1_seconds),
+                    Table::Num(st.phase2_seconds),
+                    Table::Num(st.compress_seconds),
+                    Table::Num(st.other_seconds),
+                    Table::Num(st.total_seconds), Table::Num(par, 1)});
+    }
+    Emit(table, cfg);
+    WorkloadCache::Instance().Clear();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig. 8): flat in alpha (<=2x), best near "
+      "2^10; correlated: prefilter ~half of a tiny total; indep/anti: "
+      "Phase I dominates and parallel share (par%%) approaches ~95%%.\n");
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) {
+  sky::Run(sky::BenchConfig::Parse(argc, argv));
+  return 0;
+}

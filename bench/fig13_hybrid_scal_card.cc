@@ -1,0 +1,65 @@
+// Copyright (c) SkyBench-NG contributors.
+// Reproduces paper Fig. 13: multi-threaded scalability of Hybrid versus
+// PBSkyTree with respect to cardinality.
+//
+// Paper shape to reproduce: run-times grow linearly in n for both; a few
+// Hybrid threads (4-8) beat a fully-threaded PBSkyTree on
+// independent/anticorrelated data; correlated stays sub-second and favors
+// PBSkyTree (Hybrid inherits Q-Flow's O(n) initialization).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace sky {
+namespace {
+
+void Run(const BenchConfig& cfg) {
+  const int d = cfg.d_override ? cfg.d_override : (cfg.full ? 12 : 8);
+  const int max_t = cfg.max_threads > 0 ? cfg.max_threads
+                                        : (cfg.full ? 16 : 4);
+  const std::vector<size_t> ns =
+      cfg.full ? std::vector<size_t>{500'000, 1'000'000, 2'000'000,
+                                     4'000'000, 8'000'000}
+               : std::vector<size_t>{12'500, 25'000, 50'000};
+
+  for (const Distribution dist : AllDistributions()) {
+    std::printf(
+        "== Fig. 13: Hybrid vs PBSkyTree w.r.t. n — %s (d=%d), seconds "
+        "==\n",
+        DistributionName(dist), d);
+    std::vector<std::string> headers{"n"};
+    for (int t = 1; t <= max_t; t *= 2) {
+      headers.push_back("HY(t=" + std::to_string(t) + ")");
+      headers.push_back("PB(t=" + std::to_string(t) + ")");
+    }
+    Table table(headers);
+    for (const size_t n : ns) {
+      WorkloadSpec spec{dist, n, d, cfg.seed};
+      const Dataset& data = WorkloadCache::Instance().Get(spec);
+      std::vector<std::string> row{Table::Int(n)};
+      for (int t = 1; t <= max_t; t *= 2) {
+        row.push_back(
+            Table::Num(TimeAlgo(data, Algorithm::kHybrid, t, cfg)
+                           .total_seconds));
+        row.push_back(
+            Table::Num(TimeAlgo(data, Algorithm::kPBSkyTree, t, cfg)
+                           .total_seconds));
+      }
+      table.AddRow(std::move(row));
+      WorkloadCache::Instance().Clear();
+    }
+    Emit(table, cfg);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Fig. 13): linear growth in n; Hybrid ahead on "
+      "indep/anti with even a few threads; correlated favors PBSkyTree.\n");
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) {
+  sky::Run(sky::BenchConfig::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Copyright (c) SkyBench-NG contributors.
+// google-benchmark microbenchmarks for the dominance-test kernels — the
+// primitive whose cost every skyline algorithm multiplies (paper §IV-A).
+// Covers scalar vs AVX2, the dimensionality sweep of the paper's
+// experiments, and the two extreme control-flow cases (early-exit on a
+// dominating pair vs full scan on incomparable pairs).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+namespace {
+
+Dataset RandomData(int d, size_t n, uint64_t seed) {
+  Dataset data(d, n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data.MutableRow(i)[j] = rng.NextFloat();
+  }
+  return data;
+}
+
+void BM_Dominates(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Dataset data = RandomData(d, 4096, 7);
+  DomCtx dom(d, data.stride(), simd);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value* p = data.Row(i & 4095);
+    const Value* q = data.Row((i + 1) & 4095);
+    benchmark::DoNotOptimize(dom.Dominates(p, q));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Dominates)
+    ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
+    ->ArgNames({"d", "simd"});
+
+void BM_DominatesEarlyExit(benchmark::State& state) {
+  // p strictly dominates q: the scalar kernel exits after one lane of
+  // strictness is found, the SIMD kernel after one 8-lane block.
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Dataset data(d, 2);
+  for (int j = 0; j < d; ++j) {
+    data.MutableRow(0)[j] = 0.1f;
+    data.MutableRow(1)[j] = 0.9f;
+  }
+  DomCtx dom(d, data.stride(), simd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dom.Dominates(data.Row(0), data.Row(1)));
+  }
+}
+BENCHMARK(BM_DominatesEarlyExit)
+    ->ArgsProduct({{8, 16}, {0, 1}})
+    ->ArgNames({"d", "simd"});
+
+void BM_Compare(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Dataset data = RandomData(d, 4096, 11);
+  DomCtx dom(d, data.stride(), simd);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.Compare(data.Row(i & 4095), data.Row((i + 7) & 4095)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Compare)
+    ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
+    ->ArgNames({"d", "simd"});
+
+void BM_PartitionMask(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Dataset data = RandomData(d, 4096, 13);
+  DomCtx dom(d, data.stride(), simd);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.PartitionMask(data.Row(i & 4095), data.Row(2048)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PartitionMask)
+    ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
+    ->ArgNames({"d", "simd"});
+
+}  // namespace
+}  // namespace sky
+
+BENCHMARK_MAIN();

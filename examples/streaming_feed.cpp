@@ -1,0 +1,51 @@
+// Copyright (c) SkyBench-NG contributors.
+// Online skyline maintenance: keep the Pareto set of a live marketplace
+// feed (price vs delivery time vs defect rate) up to date as offers
+// arrive one at a time — the streaming complement to the batch
+// algorithms (see src/core/streaming.h).
+//
+//   $ ./streaming_feed
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/streaming.h"
+
+int main() {
+  sky::StreamingSkyline live(3);
+  sky::Rng rng(31337);
+
+  size_t accepted = 0;
+  constexpr size_t kOffers = 500'000;
+  for (size_t i = 0; i < kOffers; ++i) {
+    // Offers improve slowly over time (sellers undercut each other).
+    const float drift = 1.0f - 0.3f * static_cast<float>(i) / kOffers;
+    const float price = drift * (10.0f + 90.0f * rng.NextFloat());
+    const float days = 1.0f + 13.0f * rng.NextFloat();
+    const float defects = 0.001f + 0.05f * rng.NextFloat();
+    accepted += live.Insert(std::vector<sky::Value>{price, days, defects},
+                            static_cast<sky::PointId>(i));
+
+    if ((i + 1) % 100'000 == 0) {
+      std::printf("after %7zu offers: %4zu on the Pareto frontier "
+                  "(%.2f%% of arrivals entered it at some point)\n",
+                  i + 1, live.size(), 100.0 * accepted / (i + 1));
+    }
+  }
+
+  std::printf("\ntotal offers     : %llu\n",
+              static_cast<unsigned long long>(live.inserted()));
+  std::printf("frontier size    : %zu\n", live.size());
+  std::printf("dominance tests  : %llu (%.1f per offer)\n",
+              static_cast<unsigned long long>(live.dominance_tests()),
+              static_cast<double>(live.dominance_tests()) / kOffers);
+
+  const auto rows = live.Rows();
+  const auto ids = live.Ids();
+  std::printf("\nsample frontier offers:\n");
+  for (size_t k = 0; k < std::min<size_t>(5, ids.size()); ++k) {
+    std::printf("  offer %7u: %.2f EUR, %.1f days, %.3f defect rate\n",
+                ids[k], rows[k * 3], rows[k * 3 + 1], rows[k * 3 + 2]);
+  }
+  return 0;
+}

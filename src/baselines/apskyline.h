@@ -1,0 +1,23 @@
+// Copyright (c) SkyBench-NG contributors.
+// APSkyline (Liknes, Vlachou, Doulkeridis, Nørvåg; DASFAA 2014): the
+// third multicore algorithm of the paper's related work (§III). Same
+// divide-and-conquer pattern as PSkyline, but the dataset is partitioned
+// by *angle* around the origin instead of linearly: points within an
+// angular sector are far more likely to dominate each other, so local
+// skylines are smaller and the merge phase cheaper. The paper notes the
+// approach "does not scale with dimensionality" (its own evaluation stops
+// at d = 5) — reproduced here by the equi-depth angular grid degrading to
+// few effective splits at high d.
+#ifndef SKY_BASELINES_APSKYLINE_H_
+#define SKY_BASELINES_APSKYLINE_H_
+
+#include "core/options.h"
+#include "data/dataset.h"
+
+namespace sky {
+
+Result APSkylineCompute(const Dataset& data, const Options& opts);
+
+}  // namespace sky
+
+#endif  // SKY_BASELINES_APSKYLINE_H_

@@ -1,0 +1,58 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "baselines/bnl.h"
+
+#include <vector>
+
+#include "common/timer.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+
+// Maintains a window of mutually non-dominated candidates. Each input
+// point is tested against the window: if dominated it is dropped; if it
+// dominates window members they are dropped; otherwise it joins the
+// window. With the whole input in memory the window is the final skyline.
+Result BnlCompute(const Dataset& data, const Options& opts) {
+  Result res;
+  if (data.count() == 0) return res;
+  WallTimer total;
+  DomCtx dom(data.dims(), data.stride(), opts.use_simd);
+  DtCounter counter(opts.count_dts);
+
+  std::vector<PointId> window;
+  window.reserve(256);
+  uint64_t dts = 0;
+  for (size_t i = 0; i < data.count(); ++i) {
+    const Value* p = data.Row(i);
+    bool dominated = false;
+    size_t write = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const Value* cand = data.Row(window[w]);
+      const Relation rel = dom.Compare(cand, p);
+      ++dts;
+      if (rel == Relation::kLeftDominates) {
+        // `p` is dominated: everything already kept stays; the rest of
+        // the window is untouched.
+        dominated = true;
+        // Preserve the not-yet-scanned suffix.
+        while (w < window.size()) window[write++] = window[w++];
+        break;
+      }
+      if (rel != Relation::kRightDominates) {
+        window[write++] = window[w];  // keep cand (p does not dominate it)
+      }
+    }
+    window.resize(write);
+    if (!dominated) window.push_back(static_cast<PointId>(i));
+  }
+  counter.AddTests(dts);
+
+  res.skyline = std::move(window);
+  res.stats.skyline_size = res.skyline.size();
+  res.stats.dominance_tests = counter.tests();
+  res.stats.total_seconds = total.Seconds();
+  res.stats.phase1_seconds = res.stats.total_seconds;
+  return res;
+}
+
+}  // namespace sky

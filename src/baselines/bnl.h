@@ -1,0 +1,17 @@
+// Copyright (c) SkyBench-NG contributors.
+// Block-nested-loop skyline (Börzsönyi et al., ICDE 2001): the original
+// main-memory algorithm. Kept deliberately simple — it is the library's
+// correctness oracle for every other implementation.
+#ifndef SKY_BASELINES_BNL_H_
+#define SKY_BASELINES_BNL_H_
+
+#include "core/options.h"
+#include "data/dataset.h"
+
+namespace sky {
+
+Result BnlCompute(const Dataset& data, const Options& opts);
+
+}  // namespace sky
+
+#endif  // SKY_BASELINES_BNL_H_

@@ -1,0 +1,19 @@
+// Copyright (c) SkyBench-NG contributors.
+// PSkyline (Im & Park, Inf. Syst. 2011): the state-of-the-art multicore
+// baseline of the paper. The dataset is cut linearly into one block per
+// thread; each thread computes its local skyline with SSkyline (parallel
+// map), and local results are folded into a global skyline with a
+// parallelized two-sided merge (parallel reduce).
+#ifndef SKY_BASELINES_PSKYLINE_H_
+#define SKY_BASELINES_PSKYLINE_H_
+
+#include "core/options.h"
+#include "data/dataset.h"
+
+namespace sky {
+
+Result PSkylineCompute(const Dataset& data, const Options& opts);
+
+}  // namespace sky
+
+#endif  // SKY_BASELINES_PSKYLINE_H_

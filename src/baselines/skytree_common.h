@@ -1,0 +1,115 @@
+// Copyright (c) SkyBench-NG contributors.
+// Shared machinery for BSkyTree (Lee & Hwang, Inf. Syst. 2014) and the
+// paper's parallelization PBSkyTree (Appendix A): the SkyTree arena, the
+// lattice-based dominance filter, and balanced pivot selection.
+//
+// A SkyTree node holds one confirmed skyline point. Its children partition
+// the node's region by their mask relative to the node's point; a query
+// point q can only be dominated inside child c when c.mask ⊆ mask(q, node)
+// — whole subtrees are skipped otherwise. This is the recursive
+// region-wise incomparability that makes BSkyTree the sequential state of
+// the art (paper §III).
+#ifndef SKY_BASELINES_SKYTREE_COMMON_H_
+#define SKY_BASELINES_SKYTREE_COMMON_H_
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "data/partition.h"
+#include "data/working_set.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+namespace skytree {
+
+struct Node {
+  uint32_t point;   ///< index into the WorkingSet
+  Mask mask;        ///< mask relative to the parent's point
+  std::vector<uint32_t> children;  ///< arena indices
+};
+
+/// Arena-allocated SkyTree over an immutable WorkingSet.
+class Tree {
+ public:
+  explicit Tree(const WorkingSet& ws, const DomCtx& dom)
+      : ws_(ws), dom_(dom), full_(FullMask(ws.dims)) {}
+
+  uint32_t NewNode(uint32_t point, Mask mask) {
+    arena_.push_back(Node{point, mask, {}});
+    return static_cast<uint32_t>(arena_.size() - 1);
+  }
+
+  Node& At(uint32_t idx) { return arena_[idx]; }
+  const Node& At(uint32_t idx) const { return arena_[idx]; }
+  size_t NodeCount() const { return arena_.size(); }
+
+  /// True iff some point in the subtree rooted at `node` dominates p.
+  /// Each mask computation against a node's point costs one DT.
+  bool Filter(uint32_t node, uint32_t p, uint64_t* dts,
+              uint64_t* skips) const {
+    const Node& n = arena_[node];
+    const Mask m = dom_.PartitionMask(ws_.Row(p), ws_.Row(n.point));
+    ++*dts;
+    if (m == full_) {
+      // The node's point potentially dominates p; only coincident points
+      // escape (duplicates are skyline members too).
+      return !dom_.Equal(ws_.Row(p), ws_.Row(n.point));
+    }
+    for (const uint32_t c : n.children) {
+      if (MaskMayDominate(arena_[c].mask, m)) {
+        if (Filter(c, p, dts, skips)) return true;
+      } else {
+        ++*skips;
+      }
+    }
+    return false;
+  }
+
+  /// Collect every point stored in the tree (the skyline) as original ids.
+  void CollectIds(std::vector<PointId>& out) const {
+    out.reserve(out.size() + arena_.size());
+    for (const Node& n : arena_) out.push_back(ws_.ids[n.point]);
+  }
+
+ private:
+  const WorkingSet& ws_;
+  const DomCtx& dom_;
+  const Mask full_;
+  std::deque<Node> arena_;
+};
+
+/// Balanced pivot (Lee & Hwang): among `pts`, pick a skyline point with
+/// small normalised coordinate range. A greedy scan prefers dominators and
+/// smaller ranges; a replacement pass then guarantees skyline membership.
+/// `lo`/`hi` are global per-dimension bounds used for normalisation.
+/// Returns an index *position* into pts.
+size_t BalancedPivotIndex(const WorkingSet& ws, const std::vector<uint32_t>& pts,
+                          const std::vector<Value>& lo,
+                          const std::vector<Value>& hi, const DomCtx& dom,
+                          uint64_t* dts);
+
+/// Random skyline pivot (OSP, Zhang et al. SIGMOD 2009): a uniformly drawn
+/// point repaired to a skyline point of `pts` by one one-way replacement
+/// scan. Returns an index position into pts.
+size_t RandomPivotIndex(const WorkingSet& ws, const std::vector<uint32_t>& pts,
+                        const DomCtx& dom, Rng& rng, uint64_t* dts);
+
+/// Manhattan pivot: the minimum-L1 point of `pts` (necessarily in the
+/// skyline of pts). Requires ws.l1.
+size_t ManhattanPivotIndex(const WorkingSet& ws,
+                           const std::vector<uint32_t>& pts, uint64_t* dts);
+
+/// Policy-dispatching subset pivot. Policies without a natural in-subset
+/// point (kMedian, kVolume) fall back to kBalanced, the BSkyTree default.
+size_t SubsetPivotIndex(const WorkingSet& ws, const std::vector<uint32_t>& pts,
+                        const std::vector<Value>& lo,
+                        const std::vector<Value>& hi, const DomCtx& dom,
+                        PivotPolicy policy, Rng& rng, uint64_t* dts);
+
+}  // namespace skytree
+}  // namespace sky
+
+#endif  // SKY_BASELINES_SKYTREE_COMMON_H_

@@ -1,0 +1,72 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "baselines/sskyline.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace sky {
+
+// Classic three-pointer scan: `head` is the current candidate, `i` scans
+// the unresolved middle, `tail` receives discarded points. When a point
+// dominates the head, it becomes the new head and the scan restarts; when
+// the scan passes `tail`, head is a confirmed skyline point.
+size_t SSkylineBlock(const Dataset& data, std::vector<PointId>& idx,
+                     size_t begin, size_t end, const DomCtx& dom,
+                     uint64_t* dts) {
+  if (begin >= end) return 0;
+  size_t head = begin;
+  size_t tail = end - 1;
+  uint64_t local = 0;
+  size_t i = head + 1;
+  while (head <= tail) {
+    if (i > tail) {
+      // head confirmed: advance to the next unresolved candidate.
+      ++head;
+      if (head > tail) break;
+      i = head + 1;
+      continue;
+    }
+    const Relation rel = dom.Compare(data.Row(idx[head]), data.Row(idx[i]));
+    ++local;
+    if (rel == Relation::kLeftDominates) {
+      // i is dominated: overwrite with the tail element.
+      idx[i] = idx[tail];
+      --tail;
+    } else if (rel == Relation::kRightDominates) {
+      // i dominates head: i becomes the head; restart its scan.
+      idx[head] = idx[i];
+      idx[i] = idx[tail];
+      --tail;
+      i = head + 1;
+    } else {
+      ++i;
+    }
+    if (tail == static_cast<size_t>(-1)) break;  // guard size_t wrap
+  }
+  if (dts != nullptr) *dts += local;
+  return (tail - begin) + 1;
+}
+
+Result SSkylineCompute(const Dataset& data, const Options& opts) {
+  Result res;
+  if (data.count() == 0) return res;
+  WallTimer total;
+  DomCtx dom(data.dims(), data.stride(), opts.use_simd);
+
+  std::vector<PointId> idx(data.count());
+  for (size_t i = 0; i < data.count(); ++i) idx[i] = static_cast<PointId>(i);
+  uint64_t dts = 0;
+  const size_t k =
+      SSkylineBlock(data, idx, 0, data.count(), dom, &dts);
+  idx.resize(k);
+
+  res.skyline = std::move(idx);
+  res.stats.skyline_size = res.skyline.size();
+  res.stats.dominance_tests = opts.count_dts ? dts : 0;
+  res.stats.total_seconds = total.Seconds();
+  res.stats.phase1_seconds = res.stats.total_seconds;
+  return res;
+}
+
+}  // namespace sky

@@ -1,0 +1,28 @@
+// Copyright (c) SkyBench-NG contributors.
+// SSkyline (Im & Park, Inf. Syst. 2011): the in-place, index-swapping
+// nested loop that PSkyline runs on each thread-local block. Exposed both
+// as a standalone sequential algorithm and as the helper PSkyline uses.
+#ifndef SKY_BASELINES_SSKYLINE_H_
+#define SKY_BASELINES_SSKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "data/dataset.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+
+/// In-place skyline of the points listed in `idx[begin, end)` (indices
+/// into `data`). On return the first `k` slots of the range hold the
+/// block's skyline; returns k. `dts` accumulates dominance tests.
+size_t SSkylineBlock(const Dataset& data, std::vector<PointId>& idx,
+                     size_t begin, size_t end, const DomCtx& dom,
+                     uint64_t* dts);
+
+Result SSkylineCompute(const Dataset& data, const Options& opts);
+
+}  // namespace sky
+
+#endif  // SKY_BASELINES_SSKYLINE_H_

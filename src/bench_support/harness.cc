@@ -1,0 +1,89 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "bench_support/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sky {
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void Usage(const char* binary) {
+  std::fprintf(stderr,
+               "usage: %s [--full] [--verify] [--csv] [--repeats=R] "
+               "[--threads=T] [--n=N] [--d=D] [--seed=S]\n",
+               binary);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::Parse(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--full", &v)) {
+      cfg.full = true;
+    } else if (ParseFlag(argv[i], "--verify", &v)) {
+      cfg.verify = true;
+    } else if (ParseFlag(argv[i], "--csv", &v)) {
+      cfg.csv = true;
+    } else if (ParseFlag(argv[i], "--repeats", &v) && v != nullptr) {
+      cfg.repeats = std::max(1, std::atoi(v));
+    } else if (ParseFlag(argv[i], "--threads", &v) && v != nullptr) {
+      cfg.max_threads = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--n", &v) && v != nullptr) {
+      cfg.n_override = static_cast<size_t>(std::atoll(v));
+    } else if (ParseFlag(argv[i], "--d", &v) && v != nullptr) {
+      cfg.d_override = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--seed", &v) && v != nullptr) {
+      cfg.seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return cfg;
+}
+
+Result RunTimed(const Dataset& data, const Options& opts, int repeats,
+                bool verify) {
+  std::vector<Result> runs;
+  runs.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    runs.push_back(ComputeSkyline(data, opts));
+  }
+  std::sort(runs.begin(), runs.end(), [](const Result& a, const Result& b) {
+    return a.stats.total_seconds < b.stats.total_seconds;
+  });
+  Result& median = runs[runs.size() / 2];
+  if (verify && !VerifySkyline(data, median.skyline)) {
+    std::fprintf(stderr, "VERIFICATION FAILED for %s (|sky|=%zu)\n",
+                 AlgorithmName(opts.algorithm), median.skyline.size());
+    std::abort();
+  }
+  return std::move(median);
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace sky

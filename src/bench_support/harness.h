@@ -1,0 +1,46 @@
+// Copyright (c) SkyBench-NG contributors.
+// Shared runner + command-line plumbing for the figure/table benchmark
+// binaries. Every binary supports:
+//   --full            paper-scale parameters instead of laptop defaults
+//   --n=N --d=D       explicit workload overrides
+//   --threads=T       max thread count for the sweep
+//   --repeats=R       timing repetitions (median reported)
+//   --verify          cross-check each result against the BNL oracle
+//   --csv             emit CSV instead of an aligned table
+#ifndef SKY_BENCH_SUPPORT_HARNESS_H_
+#define SKY_BENCH_SUPPORT_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_support/workload.h"
+#include "core/options.h"
+#include "core/skyline.h"
+
+namespace sky {
+
+struct BenchConfig {
+  bool full = false;
+  bool verify = false;
+  bool csv = false;
+  int repeats = 1;
+  int max_threads = 0;    ///< 0: binary-specific default
+  size_t n_override = 0;  ///< 0: binary-specific default
+  int d_override = 0;     ///< 0: binary-specific default
+  uint64_t seed = 42;
+
+  /// Parse argv; unknown flags abort with a usage message.
+  static BenchConfig Parse(int argc, char** argv);
+};
+
+/// Run `opts.algorithm` on `data` `repeats` times; returns the run with
+/// median total time. Aborts if --verify finds a mismatch against BNL.
+Result RunTimed(const Dataset& data, const Options& opts, int repeats,
+                bool verify);
+
+/// Median helper.
+double Median(std::vector<double> values);
+
+}  // namespace sky
+
+#endif  // SKY_BENCH_SUPPORT_HARNESS_H_

@@ -1,0 +1,35 @@
+// Copyright (c) SkyBench-NG contributors.
+// Minimal ASCII table / CSV writer for the benchmark binaries; every bench
+// prints the same rows or series the paper's tables and figures report.
+#ifndef SKY_BENCH_SUPPORT_TABLE_H_
+#define SKY_BENCH_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sky {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render with aligned columns to stdout.
+  void Print() const;
+
+  /// Render as CSV (for plotting scripts).
+  std::string ToCsv() const;
+
+  /// Formatting helpers.
+  static std::string Num(double v, int precision = 4);
+  static std::string Int(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sky
+
+#endif  // SKY_BENCH_SUPPORT_TABLE_H_

@@ -1,0 +1,35 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "bench_support/workload.h"
+
+#include <cstdio>
+
+namespace sky {
+
+std::string WorkloadSpec::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s n=%zu d=%d seed=%llu",
+                DistributionName(dist), count, dims,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+WorkloadCache& WorkloadCache::Instance() {
+  static WorkloadCache instance;
+  return instance;
+}
+
+const Dataset& WorkloadCache::Get(const WorkloadSpec& spec) {
+  const Key key{static_cast<int>(spec.dist), spec.count, spec.dims,
+                spec.seed};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto data = std::make_unique<Dataset>(
+        GenerateSynthetic(spec.dist, spec.count, spec.dims, spec.seed));
+    it = cache_.emplace(key, std::move(data)).first;
+  }
+  return *it->second;
+}
+
+void WorkloadCache::Clear() { cache_.clear(); }
+
+}  // namespace sky

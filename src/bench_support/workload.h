@@ -1,0 +1,45 @@
+// Copyright (c) SkyBench-NG contributors.
+// Workload specification and in-process dataset cache for the benchmark
+// harness. Bench binaries sweep (distribution, n, d) grids; the cache
+// avoids regenerating identical datasets between sweep points.
+#ifndef SKY_BENCH_SUPPORT_WORKLOAD_H_
+#define SKY_BENCH_SUPPORT_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace sky {
+
+struct WorkloadSpec {
+  Distribution dist = Distribution::kIndependent;
+  size_t count = 100'000;
+  int dims = 8;
+  uint64_t seed = 42;
+
+  std::string ToString() const;
+};
+
+/// Process-wide cache of generated datasets, keyed by the full spec.
+class WorkloadCache {
+ public:
+  static WorkloadCache& Instance();
+
+  /// Generate (or fetch) the dataset for `spec`.
+  const Dataset& Get(const WorkloadSpec& spec);
+
+  /// Drop all cached datasets (memory pressure between sweeps).
+  void Clear();
+
+ private:
+  using Key = std::tuple<int, size_t, int, uint64_t>;
+  std::map<Key, std::unique_ptr<Dataset>> cache_;
+};
+
+}  // namespace sky
+
+#endif  // SKY_BENCH_SUPPORT_WORKLOAD_H_

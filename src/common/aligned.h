@@ -1,0 +1,84 @@
+// Copyright (c) SkyBench-NG contributors.
+// Cache-line / SIMD aligned buffer used for the point matrix.
+#ifndef SKY_COMMON_ALIGNED_H_
+#define SKY_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace sky {
+
+/// Minimal aligned array. std::vector cannot guarantee 32-byte alignment
+/// pre-C++17 allocators portably, and we want zero-initialisation control.
+template <typename T, size_t kAlign = 64>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t count) { Reset(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Reallocate to hold `count` elements. Contents are zero-initialised;
+  /// zero padding is load-bearing for the SIMD dominance kernels.
+  void Reset(size_t count) {
+    Free();
+    if (count == 0) return;
+    const size_t bytes = RoundUp(count * sizeof(T), kAlign);
+    data_ = static_cast<T*>(std::aligned_alloc(kAlign, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = count;
+    std::memset(static_cast<void*>(data_), 0, bytes);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) {
+    SKY_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    SKY_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  static size_t RoundUp(size_t v, size_t a) { return (v + a - 1) / a * a; }
+
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sky
+
+#endif  // SKY_COMMON_ALIGNED_H_

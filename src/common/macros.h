@@ -1,0 +1,38 @@
+// Copyright (c) SkyBench-NG contributors.
+// Small portability and diagnostics macros shared by all modules.
+#ifndef SKY_COMMON_MACROS_H_
+#define SKY_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SKY_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SKY_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define SKY_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SKY_NOINLINE __attribute__((noinline))
+#define SKY_RESTRICT __restrict__
+#else
+#define SKY_LIKELY(x) (x)
+#define SKY_UNLIKELY(x) (x)
+#define SKY_ALWAYS_INLINE inline
+#define SKY_NOINLINE
+#define SKY_RESTRICT
+#endif
+
+// Debug-only assertion; compiled out in release builds.
+#define SKY_DCHECK(cond) assert(cond)
+
+// Always-on invariant check. Used on cheap, load-bearing invariants whose
+// violation would silently corrupt results (e.g. partition bounds).
+#define SKY_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (SKY_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "SKY_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SKY_COMMON_MACROS_H_

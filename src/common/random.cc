@@ -1,0 +1,5 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/random.h"
+
+// Header-only today; this translation unit anchors the module and keeps the
+// build graph stable if out-of-line helpers are added later.

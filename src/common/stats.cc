@@ -1,0 +1,22 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace sky {
+
+std::string RunStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "total=%.4fs init=%.4f prefilter=%.4f pivot=%.4f p1=%.4f p2=%.4f "
+      "compress=%.4f other=%.4f |sky|=%llu dts=%llu mask_skips=%llu",
+      total_seconds, init_seconds, prefilter_seconds, pivot_seconds,
+      phase1_seconds, phase2_seconds, compress_seconds, other_seconds,
+      static_cast<unsigned long long>(skyline_size),
+      static_cast<unsigned long long>(dominance_tests),
+      static_cast<unsigned long long>(mask_filter_hits));
+  return buf;
+}
+
+}  // namespace sky

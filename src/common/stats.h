@@ -1,0 +1,80 @@
+// Copyright (c) SkyBench-NG contributors.
+// Run statistics: phase wall-times matching the paper's Figs. 7/8 stacked
+// bars, plus dominance-test counters (the paper's central cost metric).
+#ifndef SKY_COMMON_STATS_H_
+#define SKY_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sky {
+
+/// Per-run statistics. Phase names follow the decomposition of paper
+/// Figures 7 and 8: "Init." (L1 + sort), "Pre-filter", "Pivot",
+/// "Phase I", "Phase II", "Compress", and "Other".
+struct RunStats {
+  double init_seconds = 0.0;       ///< L1 computation and sorting
+  double prefilter_seconds = 0.0;  ///< Hybrid's priority-queue pre-filter
+  double pivot_seconds = 0.0;      ///< pivot selection + partitioning
+  double phase1_seconds = 0.0;     ///< comparisons against the global skyline
+  double phase2_seconds = 0.0;     ///< comparisons against block peers
+  double compress_seconds = 0.0;   ///< block compression + skyline append
+  double other_seconds = 0.0;      ///< everything else (allocation, merge, ...)
+  double total_seconds = 0.0;      ///< end-to-end wall time
+
+  uint64_t dominance_tests = 0;    ///< full DTs executed (when counting is on)
+  uint64_t mask_filter_hits = 0;   ///< DTs skipped via mask incomparability
+  uint64_t prefiltered_points = 0; ///< points removed by the pre-filter
+  uint64_t skyline_size = 0;       ///< |SKY(P)| of this run
+
+  /// Sum of the named phases; total_seconds - Accounted() is reported as
+  /// residual "Other" time by the harness.
+  double Accounted() const {
+    return init_seconds + prefilter_seconds + pivot_seconds + phase1_seconds +
+           phase2_seconds + compress_seconds + other_seconds;
+  }
+
+  /// Human-readable one-line summary.
+  std::string ToString() const;
+};
+
+/// Thread-safe dominance-test counter. Counting is optional: hot loops use
+/// a thread-local cell and flush at synchronisation points, so the cost is
+/// one relaxed add per phase per thread. When `enabled == false` all calls
+/// are no-ops compiled down to a predictable branch.
+class DtCounter {
+ public:
+  explicit DtCounter(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Add `n` dominance tests (called at flush points, not per test).
+  void AddTests(uint64_t n) {
+    if (enabled_) tests_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Add `n` mask-filter skips.
+  void AddMaskSkips(uint64_t n) {
+    if (enabled_) mask_skips_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t tests() const { return tests_.load(std::memory_order_relaxed); }
+  uint64_t mask_skips() const {
+    return mask_skips_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    tests_.store(0, std::memory_order_relaxed);
+    mask_skips_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  bool enabled_;
+  std::atomic<uint64_t> tests_{0};
+  std::atomic<uint64_t> mask_skips_{0};
+};
+
+}  // namespace sky
+
+#endif  // SKY_COMMON_STATS_H_

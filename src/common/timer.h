@@ -1,0 +1,37 @@
+// Copyright (c) SkyBench-NG contributors.
+// Wall-clock timing utilities for phase breakdowns (paper Figs. 7 and 8).
+#ifndef SKY_COMMON_TIMER_H_
+#define SKY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sky {
+
+/// Monotonic wall-clock timer with double-precision seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Seconds elapsed, and restart in one call (for consecutive phases).
+  double Lap() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sky
+
+#endif  // SKY_COMMON_TIMER_H_

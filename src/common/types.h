@@ -1,0 +1,42 @@
+// Copyright (c) SkyBench-NG contributors.
+// Fundamental types shared by all skyline modules.
+#ifndef SKY_COMMON_TYPES_H_
+#define SKY_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sky {
+
+/// Value type of every dataset coordinate. The paper's SkyBench also uses
+/// 32-bit floats so that 256-bit AVX registers hold 8 coordinates.
+using Value = float;
+
+/// Index of a point inside a Dataset (row number) or inside the original,
+/// pre-sort order (original id).
+using PointId = uint32_t;
+
+/// A partition mask: bit i is set iff the point is >= the pivot on
+/// dimension i (see Definition in paper §VI-A2). With d <= 16 dimensions a
+/// 32-bit mask is ample; we keep 32 bits so the composite sort key
+/// (level << d | mask) also fits comfortably.
+using Mask = uint32_t;
+
+/// Maximum supported dimensionality. The paper evaluates d in [4, 16].
+inline constexpr int kMaxDims = 16;
+
+/// SIMD register width in floats (AVX2: 8). Dataset rows are padded to a
+/// multiple of this so vector kernels never touch foreign memory.
+inline constexpr int kSimdWidth = 8;
+
+/// Relationship between two points as determined by a two-way test.
+enum class Relation : uint8_t {
+  kIncomparable = 0,  ///< neither dominates the other (and not equal)
+  kLeftDominates,     ///< p dominates q
+  kRightDominates,    ///< q dominates p
+  kEqual,             ///< coincident points (no dominance either way)
+};
+
+}  // namespace sky
+
+#endif  // SKY_COMMON_TYPES_H_

@@ -1,0 +1,94 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/options.h"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.h"
+
+namespace sky {
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kBnl:
+      return "BNL";
+    case Algorithm::kSfs:
+      return "SFS";
+    case Algorithm::kLess:
+      return "LESS";
+    case Algorithm::kSalsa:
+      return "SaLSa";
+    case Algorithm::kSSkyline:
+      return "SSkyline";
+    case Algorithm::kPSkyline:
+      return "PSkyline";
+    case Algorithm::kAPSkyline:
+      return "APSkyline";
+    case Algorithm::kPsfs:
+      return "PSFS";
+    case Algorithm::kQFlow:
+      return "Q-Flow";
+    case Algorithm::kHybrid:
+      return "Hybrid";
+    case Algorithm::kBSkyTree:
+      return "BSkyTree";
+    case Algorithm::kBSkyTreeS:
+      return "BSkyTree-S";
+    case Algorithm::kOsp:
+      return "OSP";
+    case Algorithm::kPBSkyTree:
+      return "PBSkyTree";
+  }
+  return "?";
+}
+
+Algorithm ParseAlgorithm(const std::string& name) {
+  if (name == "bnl" || name == "BNL") return Algorithm::kBnl;
+  if (name == "sfs" || name == "SFS") return Algorithm::kSfs;
+  if (name == "less" || name == "LESS") return Algorithm::kLess;
+  if (name == "salsa" || name == "SaLSa") return Algorithm::kSalsa;
+  if (name == "sskyline" || name == "SSkyline") return Algorithm::kSSkyline;
+  if (name == "pskyline" || name == "PSkyline") return Algorithm::kPSkyline;
+  if (name == "apskyline" || name == "APSkyline")
+    return Algorithm::kAPSkyline;
+  if (name == "psfs" || name == "PSFS") return Algorithm::kPsfs;
+  if (name == "qflow" || name == "Q-Flow" || name == "q-flow")
+    return Algorithm::kQFlow;
+  if (name == "hybrid" || name == "Hybrid") return Algorithm::kHybrid;
+  if (name == "bskytree" || name == "BSkyTree") return Algorithm::kBSkyTree;
+  if (name == "bskytree-s" || name == "bskytrees" || name == "BSkyTree-S")
+    return Algorithm::kBSkyTreeS;
+  if (name == "osp" || name == "OSP") return Algorithm::kOsp;
+  if (name == "pbskytree" || name == "PBSkyTree")
+    return Algorithm::kPBSkyTree;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+bool IsParallelAlgorithm(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAPSkyline:
+    case Algorithm::kPSkyline:
+    case Algorithm::kPsfs:
+    case Algorithm::kQFlow:
+    case Algorithm::kHybrid:
+    case Algorithm::kPBSkyTree:
+      return true;
+    default:
+      return false;
+  }
+}
+
+size_t Options::AlphaFor(Algorithm algo) const {
+  if (alpha != 0) return alpha;
+  switch (algo) {
+    case Algorithm::kHybrid:
+      return size_t{1} << 10;  // paper Fig. 8
+    default:
+      return size_t{1} << 13;  // paper Fig. 7
+  }
+}
+
+int Options::ResolvedThreads() const {
+  return threads > 0 ? threads : ThreadPool::DefaultThreads();
+}
+
+}  // namespace sky

@@ -1,0 +1,94 @@
+// Copyright (c) SkyBench-NG contributors.
+// Public options and result types for skyline computation.
+#ifndef SKY_CORE_OPTIONS_H_
+#define SKY_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "data/partition.h"
+
+namespace sky {
+
+/// Every algorithm implemented by the library. Q-Flow and Hybrid are the
+/// paper's contribution; the rest are the baselines of its evaluation plus
+/// the classic sequential algorithms the benchmark suite ships.
+enum class Algorithm : uint8_t {
+  kBnl,        ///< block-nested-loop [Börzsönyi et al. 2001] — test oracle
+  kSfs,        ///< sort-filter skyline [Chomicki et al. 2003]
+  kLess,       ///< linear elimination-sort skyline [Godfrey et al. 2007]
+  kSalsa,      ///< sort-and-limit skyline [Bartolini et al. 2008]
+  kSSkyline,   ///< in-place nested loop used inside PSkyline [Im/Park 2011]
+  kPSkyline,   ///< divide-and-conquer multicore [Im/Park 2011]
+  kAPSkyline,  ///< angle-based divide-and-conquer multicore [Liknes 2014]
+  kPsfs,       ///< parallel SFS, the naive baseline of [Im/Park 2011]
+  kQFlow,      ///< paper §V: block flow with global shared skyline
+  kHybrid,     ///< paper §VI: Q-Flow + point-based partitioning + M(S)
+  kBSkyTree,   ///< sequential state of the art [Lee/Hwang 2014]
+  kBSkyTreeS,  ///< BSkyTree-S: one pivot, no recursion/tree [Lee/Hwang 2014]
+  kOsp,        ///< OSP: recursive partitioning, random pivot [Zhang 2009]
+  kPBSkyTree,  ///< paper Appendix A: parallelized BSkyTree
+};
+
+const char* AlgorithmName(Algorithm algo);
+Algorithm ParseAlgorithm(const std::string& name);
+
+/// True for algorithms that use more than one thread.
+bool IsParallelAlgorithm(Algorithm algo);
+
+/// Invoked after each completed block with the original ids of points just
+/// confirmed as skyline members (progressive reporting, paper §I).
+using ProgressiveCallback = std::function<void(std::span<const PointId>)>;
+
+struct Options {
+  Algorithm algorithm = Algorithm::kHybrid;
+
+  /// Total parallelism (including the calling thread). 0 = hardware
+  /// concurrency. Sequential algorithms ignore this.
+  int threads = 0;
+
+  /// Block size α. 0 = per-algorithm default from the paper's Fig. 7/8
+  /// study: 2^13 for Q-Flow/PSFS, 2^10 for Hybrid.
+  size_t alpha = 0;
+
+  /// Pivot selection policy for Hybrid (paper default: median).
+  PivotPolicy pivot = PivotPolicy::kMedian;
+
+  /// Size of each per-thread pre-filter priority queue (paper: β = 8).
+  /// 0 disables the pre-filter.
+  int prefilter_beta = 8;
+
+  /// Use the AVX2 dominance kernels when the CPU supports them.
+  bool use_simd = true;
+
+  /// Collect dominance-test counters (small overhead).
+  bool count_dts = false;
+
+  /// Seed for randomized choices (kRandom pivot).
+  uint64_t seed = 42;
+
+  /// Optional progressive result callback (Q-Flow/Hybrid/SFS/SaLSa).
+  ProgressiveCallback progressive;
+
+  /// Resolved α for an algorithm (applies the paper defaults).
+  size_t AlphaFor(Algorithm algo) const;
+  /// Resolved thread count.
+  int ResolvedThreads() const;
+};
+
+/// A skyline result: original Dataset row indices of all skyline members
+/// (order unspecified; duplicates of skyline points are all included), and
+/// the run's statistics.
+struct Result {
+  std::vector<PointId> skyline;
+  RunStats stats;
+};
+
+}  // namespace sky
+
+#endif  // SKY_CORE_OPTIONS_H_

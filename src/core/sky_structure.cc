@@ -1,0 +1,130 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/sky_structure.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace sky {
+
+SkyStructure::SkyStructure(int dims, int stride, size_t capacity)
+    : dims_(dims), stride_(stride) {
+  rows_.Reset(capacity * static_cast<size_t>(stride_));
+  ids_.reserve(capacity);
+  masks_.reserve(capacity);
+}
+
+void SkyStructure::Append(const WorkingSet& ws, size_t begin, size_t len,
+                          const DomCtx& dom) {
+  last_append_begin_ = count_;
+  if (len == 0) return;
+
+  // Current open partition: mask of the last partition and index of its
+  // pivot row, or "none" on the very first append.
+  Mask open_mask = ~Mask{0};
+  uint32_t open_pivot = 0;
+  if (!partitions_.empty()) {
+    partitions_.pop_back();  // pop sentinel
+    open_mask = partitions_.back().mask;
+    open_pivot = partitions_.back().start;
+  }
+
+  const size_t row_bytes = sizeof(Value) * static_cast<size_t>(stride_);
+  for (size_t j = 0; j < len; ++j) {
+    const size_t src = begin + j;
+    const uint32_t dst = static_cast<uint32_t>(count_);
+    Value* dst_row =
+        rows_.data() + static_cast<size_t>(dst) * static_cast<size_t>(stride_);
+    std::memcpy(dst_row, ws.Row(src), row_bytes);
+    ids_.push_back(ws.ids[src]);
+    const Mask level1 = ws.masks[src];
+    if (level1 == open_mask) {
+      // Same partition as the previous point: store the level-2 mask
+      // relative to the partition pivot (Algorithm 2 line 6).
+      masks_.push_back(dom.PartitionMask(dst_row, Row(open_pivot)));
+    } else {
+      // New partition: this point becomes its pivot and keeps the level-1
+      // mask (Algorithm 2 lines 8-9).
+      open_mask = level1;
+      open_pivot = dst;
+      masks_.push_back(level1);
+      partitions_.push_back({open_mask, open_pivot});
+    }
+    ++count_;
+  }
+  // Re-push the sentinel (Algorithm 2 line 10).
+  partitions_.push_back({FullMask(dims_) + 1, static_cast<uint32_t>(count_)});
+}
+
+bool SkyStructure::Dominated(const Value* q, Mask qmask, const DomCtx& dom,
+                             uint64_t* dts, uint64_t* skips) const {
+  if (partitions_.empty()) return false;
+  const Mask full = FullMask(dims_);
+  const uint32_t qkey = CompositeMaskKey(qmask, dims_);
+  uint64_t local_dts = 0, local_skips = 0;
+  const size_t nparts = partitions_.size() - 1;
+  bool dominated = false;
+  for (size_t k = 0; k < nparts && !dominated; ++k) {
+    const Mask pmask = partitions_[k].mask;
+    // Partitions are stored in increasing composite-key order; a subset
+    // mask never has a larger key, so everything past q's key is
+    // incomparable and the scan can stop.
+    if (CompositeMaskKey(pmask, dims_) > qkey) break;
+    // Level-1 filter (Algorithm 3 line 3): skip the whole partition unless
+    // its region may dominate q's region.
+    if (MaskIncomparable(pmask, qmask)) {
+      ++local_skips;
+      continue;
+    }
+    const uint32_t s = partitions_[k].start;
+    const uint32_t t = partitions_[k + 1].start;
+    // Compare q to the level-2 pivot once (Algorithm 3 line 5); its cost
+    // is that of one dominance test.
+    const Mask m2 = dom.PartitionMask(q, Row(s));
+    ++local_dts;
+    if (m2 == full && !dom.Equal(q, Row(s))) {
+      dominated = true;  // the pivot itself dominates q (line 6)
+      break;
+    }
+    for (uint32_t j = s + 1; j < t; ++j) {
+      // Level-2 filter (line 8): member masks are relative to the pivot,
+      // exactly comparable with m2.
+      if (MaskIncomparable(masks_[j], m2)) {
+        ++local_skips;
+        continue;
+      }
+      ++local_dts;
+      if (dom.Dominates(Row(j), q)) {
+        dominated = true;
+        break;
+      }
+    }
+  }
+  if (dts != nullptr) *dts += local_dts;
+  if (skips != nullptr) *skips += local_skips;
+  return dominated;
+}
+
+void SkyStructure::CheckInvariants() const {
+  if (count_ == 0) {
+    SKY_CHECK(partitions_.empty());
+    return;
+  }
+  SKY_CHECK(!partitions_.empty());
+  SKY_CHECK(partitions_.back().mask == FullMask(dims_) + 1);
+  SKY_CHECK(partitions_.back().start == count_);
+  SKY_CHECK(partitions_.front().start == 0);
+  uint32_t prev_key = 0;
+  for (size_t k = 0; k + 1 < partitions_.size(); ++k) {
+    SKY_CHECK(partitions_[k].start < partitions_[k + 1].start);
+    // Partitions appear in strictly increasing (level, mask) order.
+    const uint32_t key = CompositeMaskKey(partitions_[k].mask, dims_);
+    if (k > 0) SKY_CHECK(prev_key < key);
+    prev_key = key;
+    // The pivot stores the partition's level-1 mask.
+    SKY_CHECK(masks_[partitions_[k].start] == partitions_[k].mask);
+  }
+  SKY_CHECK(ids_.size() == count_ && masks_.size() == count_);
+}
+
+}  // namespace sky

@@ -1,0 +1,72 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/skyline.h"
+
+#include <algorithm>
+
+#include "baselines/apskyline.h"
+#include "baselines/bnl.h"
+#include "baselines/bskytree.h"
+#include "baselines/bskytree_s.h"
+#include "baselines/less.h"
+#include "baselines/pbskytree.h"
+#include "baselines/psfs.h"
+#include "baselines/pskyline.h"
+#include "baselines/salsa.h"
+#include "baselines/sfs.h"
+#include "baselines/sskyline.h"
+#include "core/hybrid.h"
+#include "core/qflow.h"
+
+namespace sky {
+
+Result ComputeSkyline(const Dataset& data, const Options& opts) {
+  switch (opts.algorithm) {
+    case Algorithm::kBnl:
+      return BnlCompute(data, opts);
+    case Algorithm::kSfs:
+      return SfsCompute(data, opts);
+    case Algorithm::kLess:
+      return LessCompute(data, opts);
+    case Algorithm::kSalsa:
+      return SalsaCompute(data, opts);
+    case Algorithm::kSSkyline:
+      return SSkylineCompute(data, opts);
+    case Algorithm::kPSkyline:
+      return PSkylineCompute(data, opts);
+    case Algorithm::kAPSkyline:
+      return APSkylineCompute(data, opts);
+    case Algorithm::kPsfs:
+      return PsfsCompute(data, opts);
+    case Algorithm::kQFlow:
+      return QFlowCompute(data, opts);
+    case Algorithm::kHybrid:
+      return HybridCompute(data, opts);
+    case Algorithm::kBSkyTree:
+      return BSkyTreeCompute(data, opts);
+    case Algorithm::kBSkyTreeS:
+      return BSkyTreeSCompute(data, opts);
+    case Algorithm::kOsp: {
+      // OSP = BSkyTree's recursion with a random skyline pivot.
+      Options osp = opts;
+      osp.pivot = PivotPolicy::kRandom;
+      return BSkyTreeCompute(data, osp);
+    }
+    case Algorithm::kPBSkyTree:
+      return PBSkyTreeCompute(data, opts);
+  }
+  return BnlCompute(data, opts);
+}
+
+bool VerifySkyline(const Dataset& data,
+                   const std::vector<PointId>& candidate) {
+  Options ref_opts;
+  ref_opts.algorithm = Algorithm::kBnl;
+  Result ref = BnlCompute(data, ref_opts);
+  std::vector<PointId> a = candidate;
+  std::vector<PointId> b = std::move(ref.skyline);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace sky

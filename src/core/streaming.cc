@@ -1,0 +1,93 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/streaming.h"
+
+#include <cstring>
+
+#include "data/dataset.h"
+
+namespace sky {
+
+StreamingSkyline::StreamingSkyline(int dims, bool use_simd)
+    : stride_(Dataset::StrideFor(dims)),
+      dom_(dims, stride_, use_simd) {}
+
+bool StreamingSkyline::Insert(std::span<const Value> point, PointId id) {
+  SKY_CHECK(point.size() == static_cast<size_t>(dom_.dims()));
+  ++inserted_;
+  // Stage the candidate into a padded scratch row (append slot).
+  if (count_ == capacity_) {
+    // Grow: compaction first (may free slots), then doubling.
+    CompactIfNeeded();
+    if (count_ == capacity_) {
+      const size_t new_cap = capacity_ == 0 ? 64 : capacity_ * 2;
+      AlignedBuffer<Value> grown(new_cap * static_cast<size_t>(stride_));
+      if (count_ > 0) {
+        std::memcpy(grown.data(), rows_.data(),
+                    sizeof(Value) * count_ * static_cast<size_t>(stride_));
+      }
+      rows_ = std::move(grown);
+      capacity_ = new_cap;
+    }
+  }
+  Value* candidate = MutableRow(count_);
+  std::memset(candidate, 0, sizeof(Value) * static_cast<size_t>(stride_));
+  std::memcpy(candidate, point.data(), sizeof(Value) * point.size());
+
+  // One pass: drop out if dominated; tombstone members the candidate
+  // dominates (a member cannot both dominate and be dominated).
+  for (size_t i = 0; i < count_; ++i) {
+    if (dead_.size() > i && dead_[i]) continue;
+    ++dts_;
+    const Relation rel = dom_.Compare(Row(i), candidate);
+    if (rel == Relation::kLeftDominates) return false;
+    if (rel == Relation::kRightDominates) {
+      dead_[i] = 1;
+      --live_;
+    }
+  }
+  ids_.push_back(id);
+  dead_.push_back(0);
+  ++count_;
+  ++live_;
+  CompactIfNeeded();
+  return true;
+}
+
+void StreamingSkyline::CompactIfNeeded() {
+  if (count_ < 64 || live_ * 2 > count_) return;
+  size_t write = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    if (dead_[i]) continue;
+    if (write != i) {
+      std::memcpy(MutableRow(write), Row(i),
+                  sizeof(Value) * static_cast<size_t>(stride_));
+      ids_[write] = ids_[i];
+    }
+    ++write;
+  }
+  count_ = write;
+  ids_.resize(write);
+  dead_.assign(write, 0);
+}
+
+std::vector<PointId> StreamingSkyline::Ids() const {
+  std::vector<PointId> out;
+  out.reserve(live_);
+  for (size_t i = 0; i < count_; ++i) {
+    if (!dead_[i]) out.push_back(ids_[i]);
+  }
+  return out;
+}
+
+std::vector<Value> StreamingSkyline::Rows() const {
+  std::vector<Value> out;
+  out.reserve(live_ * static_cast<size_t>(dom_.dims()));
+  for (size_t i = 0; i < count_; ++i) {
+    if (dead_[i]) continue;
+    const Value* r = Row(i);
+    out.insert(out.end(), r, r + dom_.dims());
+  }
+  return out;
+}
+
+}  // namespace sky

@@ -1,0 +1,71 @@
+// Copyright (c) SkyBench-NG contributors.
+// Incrementally maintained skyline under point insertions — a natural
+// extension of the paper's global-shared-skyline paradigm for online
+// feeds (the α-block flow processes a static file; this class handles
+// one-at-a-time arrivals). Not part of the paper's evaluation.
+#ifndef SKY_CORE_STREAMING_H_
+#define SKY_CORE_STREAMING_H_
+
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+
+/// BNL-style dynamic skyline window over padded rows. Insertion is
+/// O(|skyline| * d/8) with the SIMD kernels; dominated members are
+/// tombstoned and compacted amortizedly. Coincident duplicates of skyline
+/// members are retained, matching the batch algorithms.
+class StreamingSkyline {
+ public:
+  explicit StreamingSkyline(int dims, bool use_simd = true);
+
+  /// Insert a point (dims values; the class pads internally). Returns
+  /// true iff the point is in the current skyline (i.e. was not
+  /// dominated). May evict previously inserted members it dominates.
+  bool Insert(std::span<const Value> point, PointId id);
+
+  /// Number of current skyline members.
+  size_t size() const { return live_; }
+
+  int dims() const { return dom_.dims(); }
+
+  /// Ids of the current skyline members (insertion order).
+  std::vector<PointId> Ids() const;
+
+  /// Copy the current skyline members' coordinates (row major, dims
+  /// values per member, same order as Ids()).
+  std::vector<Value> Rows() const;
+
+  /// Total points offered via Insert.
+  uint64_t inserted() const { return inserted_; }
+  /// Dominance tests executed so far.
+  uint64_t dominance_tests() const { return dts_; }
+
+ private:
+  void CompactIfNeeded();
+  const Value* Row(size_t i) const {
+    return rows_.data() + i * static_cast<size_t>(stride_);
+  }
+  Value* MutableRow(size_t i) {
+    return rows_.data() + i * static_cast<size_t>(stride_);
+  }
+
+  int stride_;
+  DomCtx dom_;
+  AlignedBuffer<Value> rows_;   // capacity_ * stride_
+  std::vector<PointId> ids_;
+  std::vector<uint8_t> dead_;
+  size_t count_ = 0;     // slots in use (incl. tombstones)
+  size_t live_ = 0;      // live members
+  size_t capacity_ = 0;  // allocated rows
+  uint64_t inserted_ = 0;
+  uint64_t dts_ = 0;
+};
+
+}  // namespace sky
+
+#endif  // SKY_CORE_STREAMING_H_

@@ -1,0 +1,128 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/macros.h"
+
+namespace sky {
+
+int Dataset::StrideFor(int dims) {
+  SKY_CHECK(dims >= 1 && dims <= kMaxDims);
+  return (dims + kSimdWidth - 1) / kSimdWidth * kSimdWidth;
+}
+
+Dataset::Dataset(int dims, size_t count)
+    : dims_(dims), stride_(StrideFor(dims)), count_(count) {
+  rows_.Reset(count * static_cast<size_t>(stride_));
+}
+
+Dataset Dataset::FromRowMajor(int dims, const std::vector<Value>& values) {
+  SKY_CHECK(dims > 0 && values.size() % static_cast<size_t>(dims) == 0);
+  const size_t n = values.size() / static_cast<size_t>(dims);
+  Dataset out(dims, n);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out.MutableRow(i), values.data() + i * dims,
+                sizeof(Value) * static_cast<size_t>(dims));
+  }
+  return out;
+}
+
+Dataset Dataset::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<Value> values;
+  std::string line;
+  int dims = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string cell;
+    int cols = 0;
+    while (std::getline(ss, cell, ',')) {
+      values.push_back(std::strtof(cell.c_str(), nullptr));
+      ++cols;
+    }
+    if (dims < 0) {
+      dims = cols;
+    } else if (dims != cols) {
+      throw std::runtime_error("ragged CSV row in " + path);
+    }
+  }
+  if (dims <= 0) throw std::runtime_error("empty CSV " + path);
+  return FromRowMajor(dims, values);
+}
+
+void Dataset::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  for (size_t i = 0; i < count_; ++i) {
+    const Value* r = Row(i);
+    for (int j = 0; j < dims_; ++j) {
+      out << r[j] << (j + 1 == dims_ ? '\n' : ',');
+    }
+  }
+}
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x534b594e47763031ULL;  // "SKYNGv01"
+}  // namespace
+
+void Dataset::SaveBinary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  const uint64_t d = static_cast<uint64_t>(dims_);
+  const uint64_t n = count_;
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), 8);
+  out.write(reinterpret_cast<const char*>(&d), 8);
+  out.write(reinterpret_cast<const char*>(&n), 8);
+  out.write(reinterpret_cast<const char*>(rows_.data()),
+            static_cast<std::streamsize>(sizeof(Value) * count_ *
+                                         static_cast<size_t>(stride_)));
+}
+
+Dataset Dataset::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  uint64_t magic = 0, d = 0, n = 0;
+  in.read(reinterpret_cast<char*>(&magic), 8);
+  in.read(reinterpret_cast<char*>(&d), 8);
+  in.read(reinterpret_cast<char*>(&n), 8);
+  if (magic != kBinaryMagic) throw std::runtime_error("bad magic in " + path);
+  Dataset out(static_cast<int>(d), n);
+  in.read(reinterpret_cast<char*>(out.rows_.data()),
+          static_cast<std::streamsize>(sizeof(Value) * n *
+                                       static_cast<size_t>(out.stride_)));
+  if (!in) throw std::runtime_error("truncated dataset " + path);
+  return out;
+}
+
+std::vector<Value> Dataset::MinPerDim() const {
+  if (count_ == 0) return {};
+  std::vector<Value> mins(Row(0), Row(0) + dims_);
+  for (size_t i = 1; i < count_; ++i) {
+    const Value* r = Row(i);
+    for (int j = 0; j < dims_; ++j) {
+      if (r[j] < mins[static_cast<size_t>(j)]) mins[static_cast<size_t>(j)] = r[j];
+    }
+  }
+  return mins;
+}
+
+std::vector<Value> Dataset::MaxPerDim() const {
+  if (count_ == 0) return {};
+  std::vector<Value> maxs(Row(0), Row(0) + dims_);
+  for (size_t i = 1; i < count_; ++i) {
+    const Value* r = Row(i);
+    for (int j = 0; j < dims_; ++j) {
+      if (r[j] > maxs[static_cast<size_t>(j)]) maxs[static_cast<size_t>(j)] = r[j];
+    }
+  }
+  return maxs;
+}
+
+}  // namespace sky

@@ -1,0 +1,128 @@
+// Copyright (c) SkyBench-NG contributors.
+// Faithful reimplementation of the classic `randdataset` generator
+// (Börzsönyi, Kossmann, Stocker; ICDE 2001). The three distributions share
+// one structure: pick a "plane value" v, start every coordinate at v, then
+// redistribute perturbations h between adjacent dimensions
+// (x[i] += h, x[(i+1)%d] -= h) so the coordinate sum is preserved within a
+// point. Correlated data draws small bell-shaped h (points hug the
+// diagonal); anticorrelated draws uniform h over the full legal range
+// (points spread across the constant-sum plane). Out-of-range candidates
+// are rejected and redrawn, exactly as in the original C code.
+#include "data/generator.h"
+
+#include <stdexcept>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sky {
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kCorrelated:
+      return "corr";
+    case Distribution::kIndependent:
+      return "indep";
+    case Distribution::kAnticorrelated:
+      return "anti";
+  }
+  return "?";
+}
+
+Distribution ParseDistribution(const std::string& name) {
+  if (name == "corr" || name == "correlated") return Distribution::kCorrelated;
+  if (name == "indep" || name == "independent")
+    return Distribution::kIndependent;
+  if (name == "anti" || name == "anticorrelated")
+    return Distribution::kAnticorrelated;
+  throw std::invalid_argument("unknown distribution: " + name);
+}
+
+namespace {
+
+/// Sum of `n` uniforms rescaled to [lo, hi]; peaked at the midpoint
+/// (Irwin-Hall). This is random_peak() of the original generator.
+double RandomPeak(Rng& rng, double lo, double hi, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  return lo + (hi - lo) * (sum / n);
+}
+
+/// Bell-shaped value with mean `med`, support [med - var, med + var]
+/// (random_normal() of the original generator: a 12-fold peak).
+double RandomNormal(Rng& rng, double med, double var) {
+  return RandomPeak(rng, med - var, med + var, 12);
+}
+
+void GenCorrelatedPoint(Rng& rng, Value* out, int d) {
+  for (;;) {
+    const double v = RandomPeak(rng, 0.0, 1.0, d);
+    const double l = v <= 0.5 ? v : 1.0 - v;
+    double x[kMaxDims];
+    for (int i = 0; i < d; ++i) x[i] = v;
+    for (int i = 0; i < d; ++i) {
+      const double h = RandomNormal(rng, 0.0, l);
+      x[i] += h;
+      x[(i + 1) % d] -= h;
+    }
+    bool ok = true;
+    for (int i = 0; i < d; ++i) ok &= (x[i] >= 0.0 && x[i] <= 1.0);
+    if (ok) {
+      for (int i = 0; i < d; ++i) out[i] = static_cast<Value>(x[i]);
+      return;
+    }
+  }
+}
+
+void GenAnticorrelatedPoint(Rng& rng, Value* out, int d) {
+  for (;;) {
+    const double v = RandomNormal(rng, 0.5, 0.25);
+    const double l = v <= 0.5 ? v : 1.0 - v;
+    double x[kMaxDims];
+    for (int i = 0; i < d; ++i) x[i] = v;
+    for (int i = 0; i < d; ++i) {
+      const double h = rng.NextUniform(-l, l);
+      x[i] += h;
+      x[(i + 1) % d] -= h;
+    }
+    bool ok = true;
+    for (int i = 0; i < d; ++i) ok &= (x[i] >= 0.0 && x[i] <= 1.0);
+    if (ok) {
+      for (int i = 0; i < d; ++i) out[i] = static_cast<Value>(x[i]);
+      return;
+    }
+  }
+}
+
+void GenIndependentPoint(Rng& rng, Value* out, int d) {
+  for (int i = 0; i < d; ++i) out[i] = rng.NextFloat();
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(Distribution dist, size_t count, int dims,
+                          uint64_t seed) {
+  SKY_CHECK(dims >= 1 && dims <= kMaxDims);
+  Dataset out(dims, count);
+  // One hashed substream per point keeps generation deterministic and
+  // trivially parallelisable / resumable.
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t mix = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    Rng rng(SplitMix64(mix));
+    Value* row = out.MutableRow(i);
+    switch (dist) {
+      case Distribution::kCorrelated:
+        GenCorrelatedPoint(rng, row, dims);
+        break;
+      case Distribution::kIndependent:
+        GenIndependentPoint(rng, row, dims);
+        break;
+      case Distribution::kAnticorrelated:
+        GenAnticorrelatedPoint(rng, row, dims);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sky

@@ -1,0 +1,128 @@
+// Copyright (c) SkyBench-NG contributors.
+// Dominance-test kernels — the primary operation of every skyline
+// algorithm (paper §IV-A). All kernels operate on SIMD-padded rows: the
+// row stride is a multiple of kSimdWidth floats and padding lanes are
+// zero, so they compare equal and never influence the verdict.
+#ifndef SKY_DOMINANCE_DOMINANCE_H_
+#define SKY_DOMINANCE_DOMINANCE_H_
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace sky {
+
+/// True iff p strictly dominates q (Definition 2): p <= q on every
+/// dimension and p < q on at least one. Coincident points do not dominate
+/// each other, so duplicated skyline points are all retained.
+SKY_ALWAYS_INLINE bool DominatesScalar(const Value* SKY_RESTRICT p,
+                                       const Value* SKY_RESTRICT q, int d) {
+  bool strict = false;
+  for (int i = 0; i < d; ++i) {
+    if (p[i] > q[i]) return false;
+    strict |= p[i] < q[i];
+  }
+  return strict;
+}
+
+/// True iff p "may dominate" q (Definition 1): p <= q on every dimension.
+SKY_ALWAYS_INLINE bool PotentiallyDominatesScalar(const Value* SKY_RESTRICT p,
+                                                  const Value* SKY_RESTRICT q,
+                                                  int d) {
+  for (int i = 0; i < d; ++i) {
+    if (p[i] > q[i]) return false;
+  }
+  return true;
+}
+
+/// Full two-way comparison.
+SKY_ALWAYS_INLINE Relation CompareScalar(const Value* SKY_RESTRICT p,
+                                         const Value* SKY_RESTRICT q, int d) {
+  bool p_lt = false, q_lt = false;
+  for (int i = 0; i < d; ++i) {
+    p_lt |= p[i] < q[i];
+    q_lt |= q[i] < p[i];
+    if (p_lt && q_lt) return Relation::kIncomparable;
+  }
+  if (p_lt) return Relation::kLeftDominates;
+  if (q_lt) return Relation::kRightDominates;
+  return Relation::kEqual;
+}
+
+/// Partition mask of p relative to pivot v (paper §VI-A2):
+/// bit i = (p[i] < v[i]) ? 0 : 1.
+SKY_ALWAYS_INLINE Mask PartitionMaskScalar(const Value* SKY_RESTRICT p,
+                                           const Value* SKY_RESTRICT v,
+                                           int d) {
+  Mask m = 0;
+  for (int i = 0; i < d; ++i) {
+    m |= static_cast<Mask>(p[i] >= v[i]) << i;
+  }
+  return m;
+}
+
+/// True iff p and q are coincident on the first d dimensions.
+SKY_ALWAYS_INLINE bool EqualScalar(const Value* SKY_RESTRICT p,
+                                   const Value* SKY_RESTRICT q, int d) {
+  for (int i = 0; i < d; ++i) {
+    if (p[i] != q[i]) return false;
+  }
+  return true;
+}
+
+// Vectorized (AVX2) kernels, compiled in when SKY_HAVE_AVX2 is defined.
+// `dpad` must be the padded row stride (multiple of 8). Loads are
+// unaligned-tolerant (loadu; identical throughput on aligned rows), so
+// stack/vector-backed pivots are accepted. Defined in simd.cc.
+bool DominatesAvx2(const Value* p, const Value* q, int dpad);
+bool PotentiallyDominatesAvx2(const Value* p, const Value* q, int dpad);
+Relation CompareAvx2(const Value* p, const Value* q, int dpad);
+Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad);
+
+/// Runtime check that the host CPU executes AVX2.
+bool CpuHasAvx2();
+
+/// Bound dominance context: fixes dimensionality, padded stride, and
+/// kernel flavour once per run so hot loops carry no re-dispatch cost
+/// beyond one well-predicted branch.
+class DomCtx {
+ public:
+  /// `use_simd` requests the vector kernels; silently falls back to scalar
+  /// when the build or CPU lacks AVX2.
+  DomCtx(int dims, int stride, bool use_simd);
+
+  int dims() const { return d_; }
+  int stride() const { return stride_; }
+  bool simd() const { return simd_; }
+
+  SKY_ALWAYS_INLINE bool Dominates(const Value* p, const Value* q) const {
+    return simd_ ? DominatesAvx2(p, q, stride_) : DominatesScalar(p, q, d_);
+  }
+
+  SKY_ALWAYS_INLINE bool PotentiallyDominates(const Value* p,
+                                              const Value* q) const {
+    return simd_ ? PotentiallyDominatesAvx2(p, q, stride_)
+                 : PotentiallyDominatesScalar(p, q, d_);
+  }
+
+  SKY_ALWAYS_INLINE Relation Compare(const Value* p, const Value* q) const {
+    return simd_ ? CompareAvx2(p, q, stride_) : CompareScalar(p, q, d_);
+  }
+
+  SKY_ALWAYS_INLINE Mask PartitionMask(const Value* p, const Value* v) const {
+    return simd_ ? PartitionMaskAvx2(p, v, d_, stride_)
+                 : PartitionMaskScalar(p, v, d_);
+  }
+
+  SKY_ALWAYS_INLINE bool Equal(const Value* p, const Value* q) const {
+    return EqualScalar(p, q, d_);
+  }
+
+ private:
+  int d_;
+  int stride_;
+  bool simd_;
+};
+
+}  // namespace sky
+
+#endif  // SKY_DOMINANCE_DOMINANCE_H_

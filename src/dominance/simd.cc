@@ -1,0 +1,93 @@
+// Copyright (c) SkyBench-NG contributors.
+// AVX2 dominance kernels. This translation unit is compiled with -mavx2
+// when available; callers must gate on CpuHasAvx2() (DomCtx does).
+#include "dominance/dominance.h"
+
+#include "common/bits.h"
+
+#if defined(SKY_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace sky {
+
+bool CpuHasAvx2() {
+#if defined(SKY_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(SKY_HAVE_AVX2)
+
+bool DominatesAvx2(const Value* p, const Value* q, int dpad) {
+  // Accumulate "p < q somewhere" lanes; bail out on any "p > q" lane.
+  int lt = 0;
+  for (int i = 0; i < dpad; i += 8) {
+    const __m256 a = _mm256_loadu_ps(p + i);
+    const __m256 b = _mm256_loadu_ps(q + i);
+    if (_mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_GT_OQ)) != 0) {
+      return false;
+    }
+    lt |= _mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_LT_OQ));
+  }
+  return lt != 0;
+}
+
+bool PotentiallyDominatesAvx2(const Value* p, const Value* q, int dpad) {
+  for (int i = 0; i < dpad; i += 8) {
+    const __m256 a = _mm256_loadu_ps(p + i);
+    const __m256 b = _mm256_loadu_ps(q + i);
+    if (_mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_GT_OQ)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Relation CompareAvx2(const Value* p, const Value* q, int dpad) {
+  int p_lt = 0, q_lt = 0;
+  for (int i = 0; i < dpad; i += 8) {
+    const __m256 a = _mm256_loadu_ps(p + i);
+    const __m256 b = _mm256_loadu_ps(q + i);
+    p_lt |= _mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_LT_OQ));
+    q_lt |= _mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_GT_OQ));
+    if (p_lt != 0 && q_lt != 0) return Relation::kIncomparable;
+  }
+  if (p_lt != 0) return Relation::kLeftDominates;
+  if (q_lt != 0) return Relation::kRightDominates;
+  return Relation::kEqual;
+}
+
+Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad) {
+  Mask m = 0;
+  for (int i = 0; i < dpad; i += 8) {
+    const __m256 a = _mm256_loadu_ps(p + i);
+    const __m256 b = _mm256_loadu_ps(v + i);
+    const int ge = _mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_GE_OQ));
+    m |= static_cast<Mask>(ge) << i;
+  }
+  // Padding lanes compare 0 >= 0 == true; strip them.
+  return m & FullMask(d);
+}
+
+#else  // !SKY_HAVE_AVX2 — scalar stand-ins so the library still links.
+
+bool DominatesAvx2(const Value* p, const Value* q, int dpad) {
+  return DominatesScalar(p, q, dpad);
+}
+bool PotentiallyDominatesAvx2(const Value* p, const Value* q, int dpad) {
+  return PotentiallyDominatesScalar(p, q, dpad);
+}
+Relation CompareAvx2(const Value* p, const Value* q, int dpad) {
+  return CompareScalar(p, q, dpad);
+}
+Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad) {
+  (void)dpad;
+  return PartitionMaskScalar(p, v, d);
+}
+
+#endif  // SKY_HAVE_AVX2
+
+}  // namespace sky

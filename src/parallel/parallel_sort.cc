@@ -1,0 +1,10 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "parallel/parallel_sort.h"
+
+namespace sky {
+
+void ParallelSortU64(std::vector<uint64_t>& keys, ThreadPool& pool) {
+  ParallelSort(keys, pool);
+}
+
+}  // namespace sky

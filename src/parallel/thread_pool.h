@@ -1,0 +1,72 @@
+// Copyright (c) SkyBench-NG contributors.
+// Fork-join thread pool replacing the paper's OpenMP runtime (§VII-A2).
+// Workers are persistent: Q-Flow/Hybrid dispatch two parallel phases per
+// α-block, so per-phase thread spawning would dwarf the work (§IV-B).
+#ifndef SKY_PARALLEL_THREAD_POOL_H_
+#define SKY_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sky {
+
+/// Fixed-size fork-join pool. `threads` counts total parallelism: the
+/// calling thread participates as worker 0 and `threads - 1` std::threads
+/// are spawned. With threads == 1 every operation runs inline, so a
+/// single-threaded run carries no synchronisation overhead at all (the
+/// paper's t=1 baselines depend on this).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Hardware concurrency with a sane floor of 1.
+  static int DefaultThreads();
+
+  /// Run `fn(worker_index)` once on every worker (0 == caller) and block
+  /// until all invocations return. This is the fork-join primitive; all
+  /// higher-level loops are built on it.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+  /// Dynamic-schedule parallel loop over [0, n): workers repeatedly claim
+  /// `grain`-sized chunks from a shared atomic cursor and invoke
+  /// `fn(begin, end)`. Mirrors OpenMP `schedule(dynamic, grain)`, which the
+  /// skyline phases need because per-point work is highly skewed (points
+  /// dominated early terminate their scan almost immediately).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Static-schedule variant: worker w gets the w-th of `threads` nearly
+  /// equal contiguous ranges. Used where per-item cost is uniform (L1
+  /// computation, mask computation) and locality matters.
+  void ParallelForStatic(size_t n,
+                         const std::function<void(size_t, size_t, int)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;                        // guarded by mu_
+  int running_ = 0;                                // guarded by mu_
+  bool shutdown_ = false;                          // guarded by mu_
+};
+
+}  // namespace sky
+
+#endif  // SKY_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sky {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroing) {
+  AlignedBuffer<float> buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 64, 0u);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 7;
+  int* ptr = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 7);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<int> a(10);
+  AlignedBuffer<int> b(20);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(AlignedBuffer, ResetReallocatesZeroed) {
+  AlignedBuffer<double> buf(4);
+  buf[0] = 1.5;
+  buf.Reset(8);
+  EXPECT_EQ(buf.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 0.0);
+}
+
+TEST(AlignedBuffer, EmptyIsSafe) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.Reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace sky

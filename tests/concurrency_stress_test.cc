@@ -1,0 +1,74 @@
+// Copyright (c) SkyBench-NG contributors.
+// Concurrency stress: the parallel algorithms use flag-only writes during
+// their parallel phases and benign read races for early pruning. These
+// tests hammer the racy paths (tiny blocks, many threads, repeated runs)
+// and assert the result is identical every time — the algorithms must be
+// deterministic in their OUTPUT even though their schedules are not.
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+class ConcurrencyStress : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ConcurrencyStress, RepeatedRunsIdenticalUnderContention) {
+  // Small α forces many synchronization rounds; 8 threads on 1-4 cores
+  // maximises interleaving diversity.
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 4000, 7, 99);
+  Options o;
+  o.algorithm = GetParam();
+  o.threads = 8;
+  o.alpha = 64;
+  const auto first = test::Sorted(ComputeSkyline(data, o).skyline);
+  EXPECT_EQ(first, test::Sorted(test::ReferenceSkyline(data)));
+  for (int run = 0; run < 8; ++run) {
+    ASSERT_EQ(test::Sorted(ComputeSkyline(data, o).skyline), first)
+        << AlgorithmName(GetParam()) << " run " << run;
+  }
+}
+
+TEST_P(ConcurrencyStress, ManyTinyBlocksManyThreads) {
+  Dataset data = GenerateSynthetic(Distribution::kIndependent, 2000, 10, 77);
+  Options o;
+  o.algorithm = GetParam();
+  o.threads = 16;
+  o.alpha = 8;  // 250 blocks of 8 points across 16 threads
+  EXPECT_EQ(test::Sorted(ComputeSkyline(data, o).skyline),
+            test::Sorted(test::ReferenceSkyline(data)))
+      << AlgorithmName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallel, ConcurrencyStress,
+                         ::testing::Values(Algorithm::kQFlow,
+                                           Algorithm::kHybrid,
+                                           Algorithm::kPSkyline,
+                                           Algorithm::kAPSkyline,
+                                           Algorithm::kPsfs,
+                                           Algorithm::kPBSkyTree),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(c);
+                           });
+                           return name;
+                         });
+
+TEST(ConcurrencyStressPool, RepeatedPoolChurn) {
+  // Creating and destroying pools rapidly (each ComputeSkyline makes its
+  // own) must not leak or deadlock.
+  Dataset data = GenerateSynthetic(Distribution::kIndependent, 500, 4, 5);
+  Options o;
+  o.algorithm = Algorithm::kHybrid;
+  o.threads = 4;
+  const auto expect = test::Sorted(test::ReferenceSkyline(data));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(test::Sorted(ComputeSkyline(data, o).skyline), expect);
+  }
+}
+
+}  // namespace
+}  // namespace sky

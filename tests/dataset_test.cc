@@ -1,0 +1,120 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+TEST(Dataset, StridePadsToSimdWidth) {
+  EXPECT_EQ(Dataset::StrideFor(1), 8);
+  EXPECT_EQ(Dataset::StrideFor(8), 8);
+  EXPECT_EQ(Dataset::StrideFor(9), 16);
+  EXPECT_EQ(Dataset::StrideFor(16), 16);
+}
+
+TEST(Dataset, FromRowMajorPreservesValuesAndZeroPads) {
+  Dataset d = test::MakeDataset({{1, 2, 3}, {4, 5, 6}});
+  ASSERT_EQ(d.count(), 2u);
+  ASSERT_EQ(d.dims(), 3);
+  ASSERT_EQ(d.stride(), 8);
+  EXPECT_EQ(d.Row(0)[0], 1);
+  EXPECT_EQ(d.Row(1)[2], 6);
+  for (int j = 3; j < d.stride(); ++j) {
+    EXPECT_EQ(d.Row(0)[j], 0.0f) << "padding lane " << j;
+    EXPECT_EQ(d.Row(1)[j], 0.0f) << "padding lane " << j;
+  }
+}
+
+TEST(Dataset, RowsAre32ByteAligned) {
+  Dataset d(5, 17);
+  for (size_t i = 0; i < d.count(); ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d.Row(i)) % 32, 0u);
+  }
+}
+
+TEST(Dataset, MinMaxPerDim) {
+  Dataset d = test::MakeDataset({{1, 9}, {5, 2}, {3, 7}});
+  const auto mins = d.MinPerDim();
+  const auto maxs = d.MaxPerDim();
+  EXPECT_EQ(mins, (std::vector<Value>{1, 2}));
+  EXPECT_EQ(maxs, (std::vector<Value>{5, 9}));
+}
+
+TEST(Dataset, EmptyDataset) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(d.MinPerDim().empty());
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_test.csv").string();
+  Dataset d = test::MakeDataset({{1.5, 2}, {3, 4.25}});
+  d.SaveCsv(path);
+  Dataset loaded = Dataset::LoadCsv(path);
+  ASSERT_EQ(loaded.count(), d.count());
+  ASSERT_EQ(loaded.dims(), d.dims());
+  for (size_t i = 0; i < d.count(); ++i) {
+    for (int j = 0; j < d.dims(); ++j) {
+      EXPECT_EQ(loaded.Row(i)[j], d.Row(i)[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, CsvSkipsComments) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_test2.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# header comment\n1,2\n3,4\n", f);
+  fclose(f);
+  Dataset loaded = Dataset::LoadCsv(path);
+  EXPECT_EQ(loaded.count(), 2u);
+  EXPECT_EQ(loaded.dims(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, CsvRejectsRaggedRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_test3.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("1,2\n3,4,5\n", f);
+  fclose(f);
+  EXPECT_THROW(Dataset::LoadCsv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, BinaryRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_test.bin").string();
+  Dataset d = test::MakeDataset({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}});
+  d.SaveBinary(path);
+  Dataset loaded = Dataset::LoadBinary(path);
+  ASSERT_EQ(loaded.count(), 2u);
+  ASSERT_EQ(loaded.dims(), 5);
+  for (size_t i = 0; i < 2; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(loaded.Row(i)[j], d.Row(i)[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, BinaryRejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_bad.bin").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not a dataset at all, sorry......", f);
+  fclose(f);
+  EXPECT_THROW(Dataset::LoadBinary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,155 @@
+// Copyright (c) SkyBench-NG contributors.
+// Unit tests for the scalar and vector dominance kernels.
+#include "dominance/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace sky {
+namespace {
+
+// Builds two padded rows and a DomCtx for a given dimensionality.
+struct RowPair {
+  explicit RowPair(int d)
+      : stride(Dataset::StrideFor(d)),
+        p(static_cast<size_t>(stride), 0.0f),
+        q(static_cast<size_t>(stride), 0.0f) {}
+  int stride;
+  // Vectors are not guaranteed 32-byte aligned: scalar kernels only.
+  std::vector<Value> p, q;
+};
+
+TEST(DominanceScalar, StrictDominance) {
+  const float p[] = {1, 2, 3};
+  const float q[] = {1, 2, 4};
+  EXPECT_TRUE(DominatesScalar(p, q, 3));
+  EXPECT_FALSE(DominatesScalar(q, p, 3));
+}
+
+TEST(DominanceScalar, CoincidentPointsDoNotDominate) {
+  const float p[] = {1, 2, 3};
+  const float q[] = {1, 2, 3};
+  EXPECT_FALSE(DominatesScalar(p, q, 3));
+  EXPECT_FALSE(DominatesScalar(q, p, 3));
+  EXPECT_TRUE(EqualScalar(p, q, 3));
+}
+
+TEST(DominanceScalar, IncomparablePoints) {
+  const float p[] = {1, 5};
+  const float q[] = {2, 3};
+  EXPECT_FALSE(DominatesScalar(p, q, 2));
+  EXPECT_FALSE(DominatesScalar(q, p, 2));
+  EXPECT_EQ(CompareScalar(p, q, 2), Relation::kIncomparable);
+}
+
+TEST(DominanceScalar, CompareAllOutcomes) {
+  const float a[] = {1, 1};
+  const float b[] = {2, 2};
+  const float c[] = {1, 1};
+  const float d[] = {0, 3};
+  EXPECT_EQ(CompareScalar(a, b, 2), Relation::kLeftDominates);
+  EXPECT_EQ(CompareScalar(b, a, 2), Relation::kRightDominates);
+  EXPECT_EQ(CompareScalar(a, c, 2), Relation::kEqual);
+  EXPECT_EQ(CompareScalar(a, d, 2), Relation::kIncomparable);
+}
+
+TEST(DominanceScalar, PotentialDominanceAllowsEquality) {
+  const float p[] = {1, 2};
+  const float q[] = {1, 2};
+  EXPECT_TRUE(PotentiallyDominatesScalar(p, q, 2));
+  EXPECT_FALSE(DominatesScalar(p, q, 2));
+}
+
+TEST(DominanceScalar, SingleDimension) {
+  const float p[] = {1.0f};
+  const float q[] = {2.0f};
+  EXPECT_TRUE(DominatesScalar(p, q, 1));
+  EXPECT_FALSE(DominatesScalar(q, p, 1));
+  EXPECT_FALSE(DominatesScalar(p, p, 1));
+}
+
+TEST(PartitionMaskScalar, Basics) {
+  const float v[] = {5, 5, 5, 5};
+  const float p[] = {1, 9, 5, 2};
+  // bit i = (p[i] >= v[i]): dims 1 (9>=5) and 2 (5>=5).
+  EXPECT_EQ(PartitionMaskScalar(p, v, 4), 0b0110u);
+  EXPECT_EQ(PartitionMaskScalar(v, v, 4), 0b1111u);
+}
+
+// DomCtx integration: an aligned Dataset drives the (possibly SIMD)
+// kernels; results must match the scalar reference on random data.
+class DomCtxEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomCtxEquivalence, RandomPairsMatchScalar) {
+  const int d = GetParam();
+  Dataset data(d, 512);
+  Rng rng(1234 + static_cast<uint64_t>(d));
+  for (size_t i = 0; i < data.count(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      // Coarse grid: forces frequent ties to exercise equality paths.
+      data.MutableRow(i)[j] = static_cast<float>(rng.NextBounded(8)) / 8.0f;
+    }
+  }
+  DomCtx simd(d, data.stride(), /*use_simd=*/true);
+  DomCtx scalar(d, data.stride(), /*use_simd=*/false);
+  for (size_t i = 0; i + 1 < data.count(); i += 2) {
+    const Value* p = data.Row(i);
+    const Value* q = data.Row(i + 1);
+    EXPECT_EQ(simd.Dominates(p, q), scalar.Dominates(p, q));
+    EXPECT_EQ(simd.Dominates(q, p), scalar.Dominates(q, p));
+    EXPECT_EQ(simd.Compare(p, q), scalar.Compare(p, q));
+    EXPECT_EQ(simd.PotentiallyDominates(p, q),
+              scalar.PotentiallyDominates(p, q));
+    EXPECT_EQ(simd.PartitionMask(p, q), scalar.PartitionMask(p, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, DomCtxEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 9, 12, 15, 16));
+
+TEST(DomCtx, PaddingLanesAreInert) {
+  // d=3 rows padded to 8: garbage-free zero padding must not create
+  // spurious strictness or dominance in the SIMD path.
+  Dataset data(3, 2);
+  float* a = data.MutableRow(0);
+  float* b = data.MutableRow(1);
+  a[0] = a[1] = a[2] = 1.0f;
+  b[0] = b[1] = b[2] = 1.0f;
+  DomCtx dom(3, data.stride(), /*use_simd=*/true);
+  EXPECT_FALSE(dom.Dominates(a, b));
+  EXPECT_EQ(dom.Compare(a, b), Relation::kEqual);
+  b[2] = 2.0f;
+  EXPECT_TRUE(dom.Dominates(a, b));
+}
+
+TEST(DomCtx, FallsBackWithoutSimdRequest) {
+  DomCtx dom(4, 8, /*use_simd=*/false);
+  EXPECT_FALSE(dom.simd());
+}
+
+TEST(DomCtx, TransitivityOnRandomTriples) {
+  const int d = 6;
+  Dataset data(d, 300);
+  Rng rng(99);
+  for (size_t i = 0; i < data.count(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      data.MutableRow(i)[j] = static_cast<float>(rng.NextBounded(4));
+    }
+  }
+  DomCtx dom(d, data.stride(), true);
+  for (size_t i = 0; i + 2 < data.count(); i += 3) {
+    const Value* a = data.Row(i);
+    const Value* b = data.Row(i + 1);
+    const Value* c = data.Row(i + 2);
+    if (dom.Dominates(a, b) && dom.Dominates(b, c)) {
+      EXPECT_TRUE(dom.Dominates(a, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sky

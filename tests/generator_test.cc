@@ -1,0 +1,108 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+TEST(Generator, Deterministic) {
+  Dataset a = GenerateSynthetic(Distribution::kIndependent, 100, 4, 7);
+  Dataset b = GenerateSynthetic(Distribution::kIndependent, 100, 4, 7);
+  for (size_t i = 0; i < 100; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_EQ(a.Row(i)[j], b.Row(i)[j]);
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  Dataset a = GenerateSynthetic(Distribution::kIndependent, 50, 4, 1);
+  Dataset b = GenerateSynthetic(Distribution::kIndependent, 50, 4, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50 && !any_diff; ++i) {
+    for (int j = 0; j < 4; ++j) any_diff |= a.Row(i)[j] != b.Row(i)[j];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class GeneratorBounds
+    : public ::testing::TestWithParam<std::tuple<Distribution, int>> {};
+
+TEST_P(GeneratorBounds, ValuesInUnitCube) {
+  const auto [dist, d] = GetParam();
+  Dataset data = GenerateSynthetic(dist, 2000, d, 11);
+  for (size_t i = 0; i < data.count(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      ASSERT_GE(data.Row(i)[j], 0.0f);
+      ASSERT_LE(data.Row(i)[j], 1.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorBounds,
+    ::testing::Combine(::testing::Values(Distribution::kCorrelated,
+                                         Distribution::kIndependent,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(2, 5, 8, 16)));
+
+TEST(Generator, SkylineSizeOrderingAcrossDistributions) {
+  // The defining property (paper Fig. 4): corr << indep << anti.
+  const size_t n = 4000;
+  const int d = 6;
+  const auto sky_size = [&](Distribution dist) {
+    Dataset data = GenerateSynthetic(dist, n, d, 3);
+    return test::ReferenceSkyline(data).size();
+  };
+  const size_t corr = sky_size(Distribution::kCorrelated);
+  const size_t indep = sky_size(Distribution::kIndependent);
+  const size_t anti = sky_size(Distribution::kAnticorrelated);
+  EXPECT_LT(corr * 2, indep);
+  EXPECT_LT(indep * 2, anti);
+}
+
+TEST(Generator, CorrelatedCoordinatesCorrelate) {
+  Dataset data = GenerateSynthetic(Distribution::kCorrelated, 5000, 2, 9);
+  // Pearson correlation of the two coordinates should be strongly positive.
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(data.count());
+  for (size_t i = 0; i < data.count(); ++i) {
+    const double x = data.Row(i)[0], y = data.Row(i)[1];
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double r = cov / std::sqrt(vx * vy);
+  EXPECT_GT(r, 0.5);
+}
+
+TEST(Generator, AnticorrelatedCoordinatesAnticorrelate) {
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 5000, 2, 9);
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(data.count());
+  for (size_t i = 0; i < data.count(); ++i) {
+    const double x = data.Row(i)[0], y = data.Row(i)[1];
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double r = cov / std::sqrt(vx * vy);
+  EXPECT_LT(r, -0.5);
+}
+
+TEST(Generator, ParseDistributionNames) {
+  EXPECT_EQ(ParseDistribution("corr"), Distribution::kCorrelated);
+  EXPECT_EQ(ParseDistribution("independent"), Distribution::kIndependent);
+  EXPECT_EQ(ParseDistribution("anti"), Distribution::kAnticorrelated);
+  EXPECT_THROW(ParseDistribution("zipf"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,77 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "bench_support/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/table.h"
+#include "bench_support/workload.h"
+
+namespace sky {
+namespace {
+
+TEST(Workload, CacheReturnsSameObject) {
+  WorkloadSpec spec;
+  spec.count = 100;
+  spec.dims = 3;
+  const Dataset& a = WorkloadCache::Instance().Get(spec);
+  const Dataset& b = WorkloadCache::Instance().Get(spec);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.count(), 100u);
+  WorkloadCache::Instance().Clear();
+}
+
+TEST(Workload, SpecToString) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::kAnticorrelated;
+  spec.count = 42;
+  spec.dims = 7;
+  const std::string s = spec.ToString();
+  EXPECT_NE(s.find("anti"), std::string::npos);
+  EXPECT_NE(s.find("n=42"), std::string::npos);
+  EXPECT_NE(s.find("d=7"), std::string::npos);
+}
+
+TEST(Harness, RunTimedReturnsVerifiedResult) {
+  WorkloadSpec spec;
+  spec.count = 500;
+  spec.dims = 4;
+  const Dataset& data = WorkloadCache::Instance().Get(spec);
+  Options o;
+  o.algorithm = Algorithm::kHybrid;
+  o.threads = 2;
+  Result r = RunTimed(data, o, /*repeats=*/3, /*verify=*/true);
+  EXPECT_EQ(r.stats.skyline_size, r.skyline.size());
+  WorkloadCache::Instance().Clear();
+}
+
+TEST(Harness, BenchConfigParsesFlags) {
+  const char* argv[] = {"bin",         "--full",   "--verify",
+                        "--repeats=5", "--n=1234", "--d=9",
+                        "--threads=3", "--seed=77"};
+  BenchConfig cfg = BenchConfig::Parse(8, const_cast<char**>(argv));
+  EXPECT_TRUE(cfg.full);
+  EXPECT_TRUE(cfg.verify);
+  EXPECT_EQ(cfg.repeats, 5);
+  EXPECT_EQ(cfg.n_override, 1234u);
+  EXPECT_EQ(cfg.d_override, 9);
+  EXPECT_EQ(cfg.max_threads, 3);
+  EXPECT_EQ(cfg.seed, 77u);
+}
+
+TEST(Harness, MedianHelper) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t({"algo", "time"});
+  t.AddRow({"Hybrid", Table::Num(0.123456, 3)});
+  t.AddRow({"Q-Flow", Table::Int(42)});
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "algo,time\nHybrid,0.123\nQ-Flow,42\n");
+  t.Print();  // smoke: must not crash
+}
+
+}  // namespace
+}  // namespace sky

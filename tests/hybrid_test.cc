@@ -1,0 +1,152 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/qflow.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+Options HybridOpts(int threads, size_t alpha = 0,
+                   PivotPolicy pivot = PivotPolicy::kMedian, int beta = 8) {
+  Options o;
+  o.algorithm = Algorithm::kHybrid;
+  o.threads = threads;
+  o.alpha = alpha;
+  o.pivot = pivot;
+  o.prefilter_beta = beta;
+  return o;
+}
+
+class HybridAgainstOracle
+    : public ::testing::TestWithParam<std::tuple<Distribution, int, int>> {};
+
+TEST_P(HybridAgainstOracle, MatchesReference) {
+  const auto [dist, d, threads] = GetParam();
+  Dataset data = GenerateSynthetic(dist, 4000, d, 47);
+  Result r = HybridCompute(data, HybridOpts(threads));
+  EXPECT_EQ(test::Sorted(r.skyline),
+            test::Sorted(test::ReferenceSkyline(data)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridAgainstOracle,
+    ::testing::Combine(::testing::Values(Distribution::kCorrelated,
+                                         Distribution::kIndependent,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(1, 2, 6, 12, 16),
+                       ::testing::Values(1, 4)));
+
+class HybridPivots : public ::testing::TestWithParam<PivotPolicy> {};
+
+TEST_P(HybridPivots, EveryPivotPolicyIsCorrect) {
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 2500, 6, 53);
+  Result r = HybridCompute(data, HybridOpts(3, 0, GetParam()));
+  EXPECT_EQ(test::Sorted(r.skyline),
+            test::Sorted(test::ReferenceSkyline(data)));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, HybridPivots,
+                         ::testing::Values(PivotPolicy::kMedian,
+                                           PivotPolicy::kBalanced,
+                                           PivotPolicy::kManhattan,
+                                           PivotPolicy::kVolume,
+                                           PivotPolicy::kRandom));
+
+class HybridAlphaEdge : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HybridAlphaEdge, AnyBlockSizeIsCorrect) {
+  Dataset data = GenerateSynthetic(Distribution::kIndependent, 999, 5, 59);
+  Result r = HybridCompute(data, HybridOpts(4, GetParam()));
+  EXPECT_EQ(test::Sorted(r.skyline),
+            test::Sorted(test::ReferenceSkyline(data)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, HybridAlphaEdge,
+                         ::testing::Values(1, 2, 17, 128, 100000));
+
+TEST(Hybrid, PrefilterDisabledStillCorrect) {
+  Dataset data = GenerateSynthetic(Distribution::kCorrelated, 3000, 8, 61);
+  Result r = HybridCompute(data, HybridOpts(2, 0, PivotPolicy::kMedian, 0));
+  EXPECT_EQ(test::Sorted(r.skyline),
+            test::Sorted(test::ReferenceSkyline(data)));
+}
+
+TEST(Hybrid, DuplicateHeavyInput) {
+  // Real-data regime (paper Table II): no distinct value condition.
+  Dataset data = GenerateSynthetic(Distribution::kIndependent, 3000, 4, 67);
+  for (size_t i = 0; i < data.count(); ++i) {
+    for (int j = 0; j < data.dims(); ++j) {
+      data.MutableRow(i)[j] =
+          std::floor(data.Row(i)[j] * 4.0f) / 4.0f;  // only 5 values/dim
+    }
+  }
+  Result r = HybridCompute(data, HybridOpts(4));
+  EXPECT_EQ(test::Sorted(r.skyline),
+            test::Sorted(test::ReferenceSkyline(data)));
+}
+
+TEST(Hybrid, AllPointsIdentical) {
+  std::vector<float> flat;
+  for (int i = 0; i < 500; ++i) {
+    flat.push_back(3.0f);
+    flat.push_back(4.0f);
+    flat.push_back(5.0f);
+  }
+  Dataset data = Dataset::FromRowMajor(3, flat);
+  Result r = HybridCompute(data, HybridOpts(4, 64));
+  EXPECT_EQ(r.skyline.size(), 500u);  // nobody dominates anybody
+}
+
+TEST(Hybrid, ProgressiveCallbackCoversExactlyTheSkyline) {
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 2000, 5, 71);
+  Options o = HybridOpts(4, 128);
+  std::vector<PointId> streamed;
+  o.progressive = [&](std::span<const PointId> chunk) {
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  };
+  Result r = HybridCompute(data, o);
+  EXPECT_EQ(test::Sorted(streamed), test::Sorted(r.skyline));
+}
+
+TEST(Hybrid, MaskSkipsReported) {
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 5000, 8, 73);
+  Options o = HybridOpts(2);
+  o.count_dts = true;
+  Result r = HybridCompute(data, o);
+  EXPECT_GT(r.stats.mask_filter_hits, 0u)
+      << "region-wise incomparability should skip dominance tests";
+  EXPECT_GT(r.stats.dominance_tests, 0u);
+}
+
+TEST(Hybrid, FarFewerDtsThanQFlow) {
+  // The paper's core claim for the data structure (§VI-E): Hybrid
+  // substantially reduces dominance tests versus Q-Flow.
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 8000, 8, 79);
+  Options hy = HybridOpts(1);
+  hy.count_dts = true;
+  Options qf;
+  qf.algorithm = Algorithm::kQFlow;
+  qf.threads = 1;
+  qf.count_dts = true;
+  const uint64_t hybrid_dts = HybridCompute(data, hy).stats.dominance_tests;
+  Result qr = QFlowCompute(data, qf);
+  EXPECT_LT(hybrid_dts, qr.stats.dominance_tests / 2);
+}
+
+TEST(Hybrid, StatsPhaseDecompositionSumsBelowTotal) {
+  Dataset data = GenerateSynthetic(Distribution::kIndependent, 4000, 6, 83);
+  Result r = HybridCompute(data, HybridOpts(2));
+  const RunStats& st = r.stats;
+  EXPECT_LE(st.init_seconds + st.prefilter_seconds + st.pivot_seconds +
+                st.phase1_seconds + st.phase2_seconds + st.compress_seconds,
+            st.total_seconds + 1e-6);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,107 @@
+// Copyright (c) SkyBench-NG contributors.
+// Definition-level invariants, checked without reference to any other
+// algorithm: (1) minimality — no reported point is dominated by another
+// reported point; (2) completeness — every unreported point is dominated
+// by some reported point; (3) closure under duplication — if a point is
+// reported, every coincident copy is reported.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/skyline.h"
+#include "data/generator.h"
+#include "dominance/dominance.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+void CheckInvariants(const Dataset& data, const std::vector<PointId>& sky,
+                     const char* label) {
+  const std::set<PointId> members(sky.begin(), sky.end());
+  ASSERT_EQ(members.size(), sky.size()) << label << ": duplicate ids";
+  DomCtx dom(data.dims(), data.stride(), true);
+
+  // (1) minimality.
+  for (size_t i = 0; i < sky.size(); ++i) {
+    for (size_t j = 0; j < sky.size(); ++j) {
+      if (i == j) continue;
+      ASSERT_FALSE(dom.Dominates(data.Row(sky[j]), data.Row(sky[i])))
+          << label << ": member " << sky[i] << " dominated by member "
+          << sky[j];
+    }
+  }
+  // (2) completeness + (3) duplicate closure.
+  for (size_t q = 0; q < data.count(); ++q) {
+    if (members.count(static_cast<PointId>(q))) continue;
+    bool dominated = false;
+    bool has_equal_member = false;
+    for (const PointId m : sky) {
+      dominated |= dom.Dominates(data.Row(m), data.Row(q));
+      has_equal_member |= dom.Equal(data.Row(m), data.Row(q));
+      if (dominated) break;
+    }
+    ASSERT_TRUE(dominated)
+        << label << ": point " << q << " unreported but not dominated"
+        << (has_equal_member ? " (coincident with a member!)" : "");
+  }
+}
+
+class InvariantsPerAlgorithm : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(InvariantsPerAlgorithm, HoldOnMixedWorkloads) {
+  struct Load {
+    Distribution dist;
+    size_t n;
+    int d;
+  };
+  const Load loads[] = {
+      {Distribution::kCorrelated, 1200, 6},
+      {Distribution::kIndependent, 1200, 6},
+      {Distribution::kAnticorrelated, 800, 6},
+  };
+  for (const Load& load : loads) {
+    Dataset data = GenerateSynthetic(load.dist, load.n, load.d, 303);
+    Options o;
+    o.algorithm = GetParam();
+    o.threads = 2;
+    Result r = ComputeSkyline(data, o);
+    CheckInvariants(data, r.skyline, AlgorithmName(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, InvariantsPerAlgorithm,
+    ::testing::Values(Algorithm::kBnl, Algorithm::kSfs, Algorithm::kSalsa,
+                      Algorithm::kLess,
+                      Algorithm::kSSkyline, Algorithm::kPSkyline,
+                      Algorithm::kAPSkyline,
+                      Algorithm::kPsfs, Algorithm::kQFlow, Algorithm::kHybrid,
+                      Algorithm::kBSkyTree, Algorithm::kBSkyTreeS,
+                      Algorithm::kOsp, Algorithm::kPBSkyTree),
+    [](const auto& info) {
+      std::string name = AlgorithmName(info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(Invariants, DuplicateClosureExplicit) {
+  // Three copies of the same skyline point; all must be reported by every
+  // algorithm (coincident points never dominate each other).
+  Dataset data = test::MakeDataset(
+      {{5, 5}, {1, 1}, {1, 1}, {1, 1}, {0.5, 3}, {3, 0.5}});
+  for (const Algorithm algo :
+       {Algorithm::kQFlow, Algorithm::kHybrid, Algorithm::kPSkyline,
+        Algorithm::kBSkyTree, Algorithm::kPBSkyTree}) {
+    Options o;
+    o.algorithm = algo;
+    o.threads = 2;
+    Result r = ComputeSkyline(data, o);
+    EXPECT_EQ(test::Sorted(r.skyline),
+              (std::vector<PointId>{1, 2, 3, 4, 5}))
+        << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,92 @@
+// Copyright (c) SkyBench-NG contributors.
+// Targeted coverage for smaller surfaces: stats accounting, dataset I/O
+// failure modes, workload cache keying, streaming with negative
+// coordinates, and DtCounter toggling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_support/workload.h"
+#include "common/stats.h"
+#include "core/streaming.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+TEST(RunStatsCoverage, AccountedSumsNamedPhases) {
+  RunStats st;
+  st.init_seconds = 1;
+  st.prefilter_seconds = 2;
+  st.pivot_seconds = 3;
+  st.phase1_seconds = 4;
+  st.phase2_seconds = 5;
+  st.compress_seconds = 6;
+  st.other_seconds = 7;
+  EXPECT_DOUBLE_EQ(st.Accounted(), 28.0);
+}
+
+TEST(DtCounterCoverage, DisabledCounterIsNoop) {
+  DtCounter off(false);
+  off.AddTests(100);
+  off.AddMaskSkips(50);
+  EXPECT_EQ(off.tests(), 0u);
+  EXPECT_EQ(off.mask_skips(), 0u);
+  DtCounter on(true);
+  on.AddTests(100);
+  on.AddTests(11);
+  on.AddMaskSkips(50);
+  EXPECT_EQ(on.tests(), 111u);
+  EXPECT_EQ(on.mask_skips(), 50u);
+  on.Reset();
+  EXPECT_EQ(on.tests(), 0u);
+}
+
+TEST(DatasetCoverage, TruncatedBinaryRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sky_trunc.bin").string();
+  Dataset d = test::MakeDataset({{1, 2, 3}, {4, 5, 6}});
+  d.SaveBinary(path);
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(Dataset::LoadBinary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCoverage, MissingFilesThrow) {
+  EXPECT_THROW(Dataset::LoadCsv("/nonexistent/x.csv"), std::runtime_error);
+  EXPECT_THROW(Dataset::LoadBinary("/nonexistent/x.bin"),
+               std::runtime_error);
+}
+
+TEST(WorkloadCoverage, DifferentSeedsAreDifferentEntries) {
+  WorkloadSpec a{Distribution::kIndependent, 50, 3, 1};
+  WorkloadSpec b{Distribution::kIndependent, 50, 3, 2};
+  const Dataset& da = WorkloadCache::Instance().Get(a);
+  const Dataset& db = WorkloadCache::Instance().Get(b);
+  EXPECT_NE(&da, &db);
+  WorkloadCache::Instance().Clear();
+}
+
+TEST(StreamingCoverage, NegativeCoordinates) {
+  StreamingSkyline s(2);
+  EXPECT_TRUE(s.Insert(std::vector<Value>{-1.0f, 5.0f}, 0));
+  EXPECT_TRUE(s.Insert(std::vector<Value>{-2.0f, 6.0f}, 1));  // incomparable
+  EXPECT_TRUE(s.Insert(std::vector<Value>{-3.0f, 4.0f}, 2));  // evicts both
+  EXPECT_EQ(s.Ids(), (std::vector<PointId>{2}));
+}
+
+TEST(StreamingCoverage, MaxDims) {
+  StreamingSkyline s(kMaxDims);
+  std::vector<Value> p(kMaxDims, 1.0f);
+  EXPECT_TRUE(s.Insert(p, 0));
+  p[kMaxDims - 1] = 0.5f;
+  EXPECT_TRUE(s.Insert(p, 1));
+  EXPECT_EQ(s.size(), 1u);  // second dominates first
+}
+
+}  // namespace
+}  // namespace sky

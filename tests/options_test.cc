@@ -1,0 +1,61 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+namespace sky {
+namespace {
+
+TEST(Options, AlgorithmNamesRoundTrip) {
+  for (const Algorithm a :
+       {Algorithm::kBnl, Algorithm::kSfs, Algorithm::kLess, Algorithm::kSalsa,
+        Algorithm::kSSkyline, Algorithm::kPSkyline, Algorithm::kAPSkyline,
+        Algorithm::kPsfs,
+        Algorithm::kQFlow, Algorithm::kHybrid, Algorithm::kBSkyTree,
+        Algorithm::kBSkyTreeS, Algorithm::kOsp, Algorithm::kPBSkyTree}) {
+    EXPECT_EQ(ParseAlgorithm(AlgorithmName(a)), a);
+  }
+  EXPECT_THROW(ParseAlgorithm("quantum"), std::invalid_argument);
+}
+
+TEST(Options, LowercaseAliases) {
+  EXPECT_EQ(ParseAlgorithm("hybrid"), Algorithm::kHybrid);
+  EXPECT_EQ(ParseAlgorithm("qflow"), Algorithm::kQFlow);
+  EXPECT_EQ(ParseAlgorithm("pskyline"), Algorithm::kPSkyline);
+}
+
+TEST(Options, AlphaDefaultsFollowPaper) {
+  Options o;
+  EXPECT_EQ(o.AlphaFor(Algorithm::kQFlow), size_t{1} << 13);   // Fig. 7
+  EXPECT_EQ(o.AlphaFor(Algorithm::kHybrid), size_t{1} << 10);  // Fig. 8
+  o.alpha = 99;
+  EXPECT_EQ(o.AlphaFor(Algorithm::kQFlow), 99u);
+  EXPECT_EQ(o.AlphaFor(Algorithm::kHybrid), 99u);
+}
+
+TEST(Options, ResolvedThreads) {
+  Options o;
+  o.threads = 5;
+  EXPECT_EQ(o.ResolvedThreads(), 5);
+  o.threads = 0;
+  EXPECT_GE(o.ResolvedThreads(), 1);
+}
+
+TEST(Options, ParallelClassification) {
+  EXPECT_TRUE(IsParallelAlgorithm(Algorithm::kHybrid));
+  EXPECT_TRUE(IsParallelAlgorithm(Algorithm::kPBSkyTree));
+  EXPECT_FALSE(IsParallelAlgorithm(Algorithm::kBnl));
+  EXPECT_FALSE(IsParallelAlgorithm(Algorithm::kBSkyTree));
+}
+
+TEST(RunStats, ToStringMentionsKeyFields) {
+  RunStats st;
+  st.total_seconds = 1.5;
+  st.skyline_size = 42;
+  const std::string s = st.ToString();
+  EXPECT_NE(s.find("total=1.5"), std::string::npos);
+  EXPECT_NE(s.find("|sky|=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sky

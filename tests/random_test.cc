@@ -1,0 +1,78 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace sky {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.NextFloat();
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(9);
+  for (const uint64_t n : {1ull, 2ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(n), n);
+    }
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(10);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NormalishMomentsLookNormal) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextNormalish();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.03);  // variance of Irwin-Hall(12)-6
+}
+
+TEST(SplitMix, DeterministicSequence) {
+  uint64_t s1 = 5, s2 = 5;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,80 @@
+// Copyright (c) SkyBench-NG contributors.
+// Structural checks for the real-dataset stand-ins (paper Table I).
+#include "data/realistic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/skyline.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+double SkylineFraction(const Dataset& data) {
+  Options o;
+  o.algorithm = Algorithm::kBSkyTree;
+  Result r = ComputeSkyline(data, o);
+  return static_cast<double>(r.skyline.size()) /
+         static_cast<double>(data.count());
+}
+
+size_t DistinctValues(const Dataset& data, int dim) {
+  std::set<float> vals;
+  for (size_t i = 0; i < data.count(); ++i) vals.insert(data.Row(i)[dim]);
+  return vals.size();
+}
+
+TEST(Realistic, NbaLikeShape) {
+  Dataset d = GenerateNbaLike(4000, 1);
+  EXPECT_EQ(d.dims(), 8);
+  EXPECT_EQ(d.count(), 4000u);
+  // Duplicated values: the distinct value condition must fail.
+  EXPECT_LT(DistinctValues(d, 0), d.count() / 4);
+}
+
+TEST(Realistic, HouseLikeShape) {
+  Dataset d = GenerateHouseLike(4000, 1);
+  EXPECT_EQ(d.dims(), 6);
+  EXPECT_LT(DistinctValues(d, 0), d.count());
+}
+
+TEST(Realistic, WeatherLikeShape) {
+  Dataset d = GenerateWeatherLike(4000, 1);
+  EXPECT_EQ(d.dims(), 15);
+  EXPECT_LT(DistinctValues(d, 0), 64u) << "weather grid is coarse";
+}
+
+TEST(Realistic, FullSizesMatchTableOne) {
+  // Generate just the headers' cardinality cheaply (structure only).
+  EXPECT_EQ(GenerateNbaLike(17264, 2).count(), 17264u);
+}
+
+TEST(Realistic, SkylineFractionsApproximateTableOne) {
+  // Table I: NBA 10.4%, House 4.51%, Weather 11.2%. Loose bands — the
+  // stand-ins only need the right regime at reduced scale.
+  const double nba = SkylineFraction(GenerateNbaLike(8000, 3));
+  EXPECT_GT(nba, 0.02);
+  EXPECT_LT(nba, 0.35);
+  const double house = SkylineFraction(GenerateHouseLike(8000, 3));
+  EXPECT_GT(house, 0.005);
+  EXPECT_LT(house, 0.25);
+}
+
+TEST(Realistic, AllAlgorithmsAgreeOnDuplicateHeavyStandIn) {
+  Dataset d = GenerateNbaLike(2500, 4);
+  const auto expect = test::Sorted(test::ReferenceSkyline(d));
+  for (const Algorithm algo :
+       {Algorithm::kHybrid, Algorithm::kQFlow, Algorithm::kPSkyline,
+        Algorithm::kBSkyTree, Algorithm::kPBSkyTree, Algorithm::kSalsa}) {
+    Options o;
+    o.algorithm = algo;
+    o.threads = 2;
+    ASSERT_EQ(test::Sorted(ComputeSkyline(d, o).skyline), expect)
+        << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,132 @@
+// Copyright (c) SkyBench-NG contributors.
+// Tests for M(S): updateS&M (Algorithm 2) and compareToSky (Algorithm 3).
+#include "core/sky_structure.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/partition.h"
+#include "data/prefilter.h"
+#include "data/sorting.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+/// Build a sorted, masked working set of confirmed skyline points only
+/// (computed with the reference oracle) — the exact shape Hybrid appends.
+struct Fixture {
+  explicit Fixture(Distribution dist, size_t n, int d, uint64_t seed)
+      : pool(2), data(GenerateSynthetic(dist, n, d, seed)) {
+    const auto sky = test::ReferenceSkyline(data);
+    std::vector<float> flat;
+    for (const PointId id : sky) {
+      for (int j = 0; j < d; ++j) flat.push_back(data.Row(id)[j]);
+    }
+    sky_only = Dataset::FromRowMajor(d, flat);
+    ws = WorkingSet::FromDataset(sky_only, pool);
+    ws.ComputeL1(pool);
+    const auto pivot = SelectPivot(ws, PivotPolicy::kMedian, pool, 1);
+    DomCtx dom(ws.dims, ws.stride, true);
+    AssignMasks(ws, pivot.data(), dom, pool);
+    SortByMaskThenL1(ws, pool);
+  }
+  ThreadPool pool;
+  Dataset data;
+  Dataset sky_only;
+  WorkingSet ws;
+};
+
+TEST(SkyStructure, EmptyStructureDominatesNothing) {
+  SkyStructure s(4, 8, 16);
+  DomCtx dom(4, 8, true);
+  float q[8] = {1, 1, 1, 1};
+  EXPECT_FALSE(s.Dominated(q, 0, dom, nullptr, nullptr));
+  EXPECT_EQ(s.size(), 0u);
+  s.CheckInvariants();
+}
+
+TEST(SkyStructure, AppendMaintainsInvariants) {
+  Fixture f(Distribution::kIndependent, 2000, 5, 31);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  // Append in several uneven chunks, as Hybrid's blocks would.
+  size_t pos = 0;
+  const size_t chunks[] = {1, 7, 64, 1000000};
+  size_t ci = 0;
+  while (pos < f.ws.count) {
+    const size_t len = std::min(chunks[ci % 4], f.ws.count - pos);
+    s.Append(f.ws, pos, len, dom);
+    s.CheckInvariants();
+    pos += len;
+    ++ci;
+  }
+  EXPECT_EQ(s.size(), f.ws.count);
+}
+
+class SkyStructureDominance
+    : public ::testing::TestWithParam<std::tuple<Distribution, int>> {};
+
+TEST_P(SkyStructureDominance, MatchesBruteForceScan) {
+  const auto [dist, d] = GetParam();
+  Fixture f(dist, 1500, d, 77);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  // Append the first half as "known skyline".
+  const size_t half = f.ws.count / 2;
+  s.Append(f.ws, 0, half, dom);
+
+  // Probe points: random grid points (some dominated, some not).
+  Dataset probes = GenerateSynthetic(dist, 500, d, 123);
+  const auto pivot = SelectPivot(f.ws, PivotPolicy::kMedian, f.pool, 1);
+  for (size_t i = 0; i < probes.count(); ++i) {
+    const Value* q = probes.Row(i);
+    const Mask qmask = dom.PartitionMask(q, pivot.data());
+    bool expect = false;
+    for (size_t j = 0; j < half && !expect; ++j) {
+      expect = dom.Dominates(f.ws.Row(j), q);
+    }
+    uint64_t dts = 0, skips = 0;
+    ASSERT_EQ(s.Dominated(q, qmask, dom, &dts, &skips), expect)
+        << "probe " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkyStructureDominance,
+    ::testing::Combine(::testing::Values(Distribution::kCorrelated,
+                                         Distribution::kIndependent,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(2, 5, 8, 12)));
+
+TEST(SkyStructure, MaskFiltersActuallySkipWork) {
+  Fixture f(Distribution::kAnticorrelated, 3000, 8, 13);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  s.Append(f.ws, 0, f.ws.count, dom);
+  uint64_t dts = 0, skips = 0;
+  // Probe with every skyline point itself: none is dominated, and the
+  // structure should skip a decent share of partitions.
+  for (size_t i = 0; i < f.ws.count; i += 3) {
+    // Recompute the level-1 mask: ws.masks are level-1 (pre-append).
+    ASSERT_FALSE(
+        s.Dominated(f.ws.Row(i), f.ws.masks[i], dom, &dts, &skips));
+  }
+  EXPECT_GT(skips, 0u);
+  // Without filters the scan would be ~ (count/3) * count tests.
+  EXPECT_LT(dts, (f.ws.count / 3) * f.ws.count);
+}
+
+TEST(SkyStructure, LastAppendedExposesProgressiveSpan) {
+  Fixture f(Distribution::kIndependent, 500, 4, 3);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  s.Append(f.ws, 0, 10, dom);
+  EXPECT_EQ(s.LastAppended().size(), 10u);
+  s.Append(f.ws, 10, 5, dom);
+  EXPECT_EQ(s.LastAppended().size(), 5u);
+  EXPECT_EQ(s.size(), 15u);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,112 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/skyline.h"
+#include "data/generator.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+TEST(Streaming, BasicInsertAndEvict) {
+  StreamingSkyline s(2);
+  EXPECT_TRUE(s.Insert(std::vector<Value>{4, 4}, 0));
+  EXPECT_EQ(s.size(), 1u);
+  // (2,2) dominates (4,4): evicts it.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{2, 2}, 1));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.Ids(), (std::vector<PointId>{1}));
+  // Dominated arrival is rejected.
+  EXPECT_FALSE(s.Insert(std::vector<Value>{3, 3}, 2));
+  EXPECT_EQ(s.size(), 1u);
+  // Incomparable arrival joins.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{1, 5}, 3));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Streaming, DuplicatesAreRetained) {
+  StreamingSkyline s(2);
+  EXPECT_TRUE(s.Insert(std::vector<Value>{1, 1}, 0));
+  EXPECT_TRUE(s.Insert(std::vector<Value>{1, 1}, 1));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Streaming, OneDominatorEvictsMany) {
+  StreamingSkyline s(2);
+  // A diagonal of incomparable points...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(s.Insert(
+        std::vector<Value>{static_cast<float>(i + 1),
+                           static_cast<float>(10 - i)},
+        static_cast<PointId>(i)));
+  }
+  EXPECT_EQ(s.size(), 10u);
+  // ...all evicted by the origin.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{0, 0}, 99));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.Ids(), (std::vector<PointId>{99}));
+}
+
+class StreamingAgainstBatch
+    : public ::testing::TestWithParam<std::tuple<Distribution, int>> {};
+
+TEST_P(StreamingAgainstBatch, MatchesBatchSkyline) {
+  const auto [dist, d] = GetParam();
+  Dataset data = GenerateSynthetic(dist, 3000, d, 555);
+  StreamingSkyline s(d);
+  for (size_t i = 0; i < data.count(); ++i) {
+    s.Insert(std::span<const Value>(data.Row(i), static_cast<size_t>(d)),
+             static_cast<PointId>(i));
+  }
+  EXPECT_EQ(s.inserted(), data.count());
+  EXPECT_EQ(test::Sorted(s.Ids()),
+            test::Sorted(test::ReferenceSkyline(data)));
+  // Rows() must be consistent with Ids().
+  const auto ids = s.Ids();
+  const auto rows = s.Rows();
+  ASSERT_EQ(rows.size(), ids.size() * static_cast<size_t>(d));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    for (int j = 0; j < d; ++j) {
+      ASSERT_EQ(rows[k * static_cast<size_t>(d) + static_cast<size_t>(j)],
+                data.Row(ids[k])[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamingAgainstBatch,
+    ::testing::Combine(::testing::Values(Distribution::kCorrelated,
+                                         Distribution::kIndependent,
+                                         Distribution::kAnticorrelated),
+                       ::testing::Values(2, 6, 12)));
+
+TEST(Streaming, CompactionUnderChurn) {
+  // Monotonically improving stream: every arrival evicts the previous
+  // point, stressing tombstone compaction.
+  StreamingSkyline s(3);
+  for (int i = 1000; i > 0; --i) {
+    const float v = static_cast<float>(i);
+    EXPECT_TRUE(s.Insert(std::vector<Value>{v, v, v},
+                         static_cast<PointId>(i)));
+    EXPECT_EQ(s.size(), 1u);
+  }
+  EXPECT_EQ(s.Ids(), (std::vector<PointId>{1}));
+  EXPECT_GT(s.dominance_tests(), 0u);
+}
+
+TEST(Streaming, ScalarAndSimdAgree) {
+  Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 1500, 7, 6);
+  StreamingSkyline simd(7, true), scalar(7, false);
+  for (size_t i = 0; i < data.count(); ++i) {
+    const std::span<const Value> p(data.Row(i), 7);
+    ASSERT_EQ(simd.Insert(p, static_cast<PointId>(i)),
+              scalar.Insert(p, static_cast<PointId>(i)))
+        << "point " << i;
+  }
+  EXPECT_EQ(test::Sorted(simd.Ids()), test::Sorted(scalar.Ids()));
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,58 @@
+// Copyright (c) SkyBench-NG contributors.
+// Shared helpers for the gtest suite.
+#ifndef SKY_TESTS_TEST_UTIL_H_
+#define SKY_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "core/options.h"
+#include "data/dataset.h"
+#include "dominance/dominance.h"
+
+namespace sky::test {
+
+/// Build a dataset from a nested initializer list of rows.
+inline Dataset MakeDataset(std::initializer_list<std::vector<float>> rows) {
+  if (rows.size() == 0) return Dataset{};
+  const int dims = static_cast<int>(rows.begin()->size());
+  std::vector<float> flat;
+  for (const auto& row : rows) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return Dataset::FromRowMajor(dims, flat);
+}
+
+/// Brute-force O(n^2 d) reference skyline, written from Definition 3 with
+/// no shared code paths with any library algorithm (independent oracle).
+inline std::vector<PointId> ReferenceSkyline(const Dataset& data) {
+  std::vector<PointId> out;
+  const int d = data.dims();
+  for (size_t i = 0; i < data.count(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < data.count() && !dominated; ++j) {
+      if (i == j) continue;
+      const Value* p = data.Row(j);
+      const Value* q = data.Row(i);
+      bool all_le = true, some_lt = false;
+      for (int k = 0; k < d; ++k) {
+        all_le &= p[k] <= q[k];
+        some_lt |= p[k] < q[k];
+      }
+      dominated = all_le && some_lt;
+    }
+    if (!dominated) out.push_back(static_cast<PointId>(i));
+  }
+  return out;
+}
+
+/// Sorted copy for order-insensitive comparison.
+inline std::vector<PointId> Sorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace sky::test
+
+#endif  // SKY_TESTS_TEST_UTIL_H_

@@ -1,0 +1,115 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sky {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  int calls = 0;
+  pool.RunOnAll([&](int w) {
+    EXPECT_EQ(w, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorkerOnce) {
+  for (int t : {2, 3, 4, 8}) {
+    ThreadPool pool(t);
+    std::vector<std::atomic<int>> visits(static_cast<size_t>(t));
+    pool.RunOnAll([&](int w) { visits[static_cast<size_t>(w)]++; });
+    for (int w = 0; w < t; ++w) {
+      EXPECT_EQ(visits[static_cast<size_t>(w)].load(), 1) << "worker " << w;
+    }
+  }
+}
+
+TEST(ThreadPool, RunOnAllIsReusable) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunOnAll([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100'000;
+  std::vector<std::atomic<uint8_t>> hit(kN);
+  pool.ParallelFor(kN, 64, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hit[i]++;
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hit[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTiny) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 16, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(3, 16, [&](size_t b, size_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 3u);
+}
+
+TEST(ThreadPool, ParallelForStaticPartitionsContiguously) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<int> owner(kN, -1);
+  pool.ParallelForStatic(kN, [&](size_t b, size_t e, int w) {
+    for (size_t i = b; i < e; ++i) owner[i] = w;
+  });
+  // Every element owned and owners form contiguous non-decreasing runs.
+  for (size_t i = 0; i < kN; ++i) ASSERT_GE(owner[i], 0);
+  for (size_t i = 1; i < kN; ++i) ASSERT_GE(owner[i], owner[i - 1]);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 1 << 18;
+  std::vector<uint64_t> values(kN);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(kN, 1024, [&](size_t b, size_t e) {
+    uint64_t local = 0;
+    for (size_t i = b; i < e; ++i) local += values[i];
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(2, 1, [&](size_t b, size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, NestedDataParallelismViaSeparatePools) {
+  // Algorithms create their own pools; two pools must coexist.
+  ThreadPool outer(2);
+  std::atomic<int> total{0};
+  outer.RunOnAll([&](int) {
+    ThreadPool inner(2);
+    inner.ParallelFor(10, 1, [&](size_t b, size_t e) {
+      total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 20);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,163 @@
+// Copyright (c) SkyBench-NG contributors.
+// skybench — command-line front end for the library, in the spirit of the
+// paper's released SkyBench suite: run any implemented algorithm on a
+// generated or loaded dataset and report timing, phase breakdown and
+// dominance-test counts.
+//
+// Examples:
+//   skybench --algo=hybrid --dist=anti --n=1000000 --d=12 --threads=16
+//   skybench --algo=qflow --input=points.csv --alpha=8192 --stats
+//   skybench --algo=all --dist=indep --n=100000 --d=8 --verify
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/skyline.h"
+#include "data/generator.h"
+#include "data/realistic.h"
+
+namespace sky {
+namespace {
+
+struct CliArgs {
+  std::string algo = "hybrid";
+  std::string dist = "indep";
+  std::string input;      // CSV or .bin path; overrides generation
+  std::string output;     // optional: write skyline rows as CSV
+  size_t n = 100'000;
+  int d = 8;
+  int threads = 0;
+  size_t alpha = 0;
+  std::string pivot = "median";
+  uint64_t seed = 42;
+  bool no_simd = false;
+  bool stats = false;
+  bool verify = false;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: skybench [options]\n"
+      "  --algo=NAME      bnl|sfs|less|salsa|sskyline|pskyline|psfs|qflow|\n"
+      "                   hybrid|bskytree|pbskytree|all      (default hybrid)\n"
+      "  --dist=NAME      corr|indep|anti|nba|house|weather  (default indep)\n"
+      "  --n=N --d=D      generated workload size             (1e5 x 8)\n"
+      "  --input=PATH     load CSV (or .bin) instead of generating\n"
+      "  --output=PATH    write skyline points as CSV\n"
+      "  --threads=T      0 = all hardware threads\n"
+      "  --alpha=A        block size (0 = paper default)\n"
+      "  --pivot=NAME     median|balanced|manhattan|volume|random\n"
+      "  --seed=S         generator / random pivot seed\n"
+      "  --no-simd        scalar dominance kernels\n"
+      "  --stats          print the phase breakdown\n"
+      "  --verify         cross-check against the BNL oracle\n");
+  std::exit(2);
+}
+
+bool Flag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (Flag(argv[i], "--algo", &v) && v) a.algo = v;
+    else if (Flag(argv[i], "--dist", &v) && v) a.dist = v;
+    else if (Flag(argv[i], "--input", &v) && v) a.input = v;
+    else if (Flag(argv[i], "--output", &v) && v) a.output = v;
+    else if (Flag(argv[i], "--n", &v) && v) a.n = static_cast<size_t>(std::atoll(v));
+    else if (Flag(argv[i], "--d", &v) && v) a.d = std::atoi(v);
+    else if (Flag(argv[i], "--threads", &v) && v) a.threads = std::atoi(v);
+    else if (Flag(argv[i], "--alpha", &v) && v) a.alpha = static_cast<size_t>(std::atoll(v));
+    else if (Flag(argv[i], "--pivot", &v) && v) a.pivot = v;
+    else if (Flag(argv[i], "--seed", &v) && v) a.seed = static_cast<uint64_t>(std::atoll(v));
+    else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
+    else if (Flag(argv[i], "--stats", &v)) a.stats = true;
+    else if (Flag(argv[i], "--verify", &v)) a.verify = true;
+    else Usage();
+  }
+  return a;
+}
+
+Dataset LoadData(const CliArgs& a) {
+  if (!a.input.empty()) {
+    if (a.input.size() > 4 &&
+        a.input.compare(a.input.size() - 4, 4, ".bin") == 0) {
+      return Dataset::LoadBinary(a.input);
+    }
+    return Dataset::LoadCsv(a.input);
+  }
+  if (a.dist == "nba") return GenerateNbaLike(a.n, a.seed);
+  if (a.dist == "house") return GenerateHouseLike(a.n, a.seed);
+  if (a.dist == "weather") return GenerateWeatherLike(a.n, a.seed);
+  return GenerateSynthetic(ParseDistribution(a.dist), a.n, a.d, a.seed);
+}
+
+void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
+  Options o;
+  o.algorithm = algo;
+  o.threads = a.threads;
+  o.alpha = a.alpha;
+  o.pivot = ParsePivotPolicy(a.pivot);
+  o.use_simd = !a.no_simd;
+  o.count_dts = true;
+  o.seed = a.seed;
+  const Result r = ComputeSkyline(data, o);
+  std::printf("%-10s time=%.4fs |sky|=%zu dts=%llu\n", AlgorithmName(algo),
+              r.stats.total_seconds, r.skyline.size(),
+              static_cast<unsigned long long>(r.stats.dominance_tests));
+  if (a.stats) std::printf("  %s\n", r.stats.ToString().c_str());
+  if (a.verify) {
+    if (VerifySkyline(data, r.skyline)) {
+      std::printf("  verification: OK\n");
+    } else {
+      std::printf("  verification: FAILED\n");
+      std::exit(1);
+    }
+  }
+  if (!a.output.empty()) {
+    Dataset out(data.dims(), r.skyline.size());
+    for (size_t i = 0; i < r.skyline.size(); ++i) {
+      std::memcpy(out.MutableRow(i), data.Row(r.skyline[i]),
+                  sizeof(Value) * static_cast<size_t>(data.dims()));
+    }
+    out.SaveCsv(a.output);
+    std::printf("  wrote %zu skyline rows to %s\n", out.count(),
+                a.output.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) {
+  const sky::CliArgs args = sky::Parse(argc, argv);
+  const sky::Dataset data = sky::LoadData(args);
+  std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
+  if (args.algo == "all") {
+    for (const char* name :
+         {"bnl", "sfs", "less", "salsa", "sskyline", "pskyline",
+          "apskyline", "psfs",
+          "qflow", "hybrid", "bskytree", "bskytree-s", "osp",
+          "pbskytree"}) {
+      sky::RunOne(data, sky::ParseAlgorithm(name), args);
+    }
+  } else {
+    sky::RunOne(data, sky::ParseAlgorithm(args.algo), args);
+  }
+  return 0;
+}
