@@ -1,0 +1,45 @@
+# Shared compile/link flags for the whole tree, carried by the
+# `skybench_flags` interface target that every subdirectory links.
+
+add_library(skybench_flags INTERFACE)
+
+if(SKYBENCH_ASAN AND SKYBENCH_TSAN)
+  message(FATAL_ERROR "SKYBENCH_ASAN and SKYBENCH_TSAN are mutually exclusive")
+endif()
+
+if(SKYBENCH_ASAN)
+  target_compile_options(skybench_flags INTERFACE
+    -fsanitize=address,undefined -fno-omit-frame-pointer)
+  target_link_options(skybench_flags INTERFACE
+    -fsanitize=address,undefined)
+endif()
+
+if(SKYBENCH_TSAN)
+  target_compile_options(skybench_flags INTERFACE
+    -fsanitize=thread -fno-omit-frame-pointer)
+  target_link_options(skybench_flags INTERFACE -fsanitize=thread)
+endif()
+
+include(CheckCXXCompilerFlag)
+if(SKYBENCH_NATIVE)
+  check_cxx_compiler_flag(-march=native SKYBENCH_HAS_MARCH_NATIVE)
+  if(SKYBENCH_HAS_MARCH_NATIVE)
+    target_compile_options(skybench_flags INTERFACE -march=native)
+  else()
+    message(WARNING "SKYBENCH_NATIVE requested but -march=native unsupported")
+  endif()
+endif()
+
+if(SKYBENCH_IPO)
+  include(CheckIPOSupported)
+  check_ipo_supported(RESULT SKYBENCH_IPO_OK OUTPUT SKYBENCH_IPO_MSG)
+  if(SKYBENCH_IPO_OK)
+    set(CMAKE_INTERPROCEDURAL_OPTIMIZATION TRUE)
+  else()
+    message(WARNING "IPO not supported: ${SKYBENCH_IPO_MSG}")
+  endif()
+endif()
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(skybench_flags INTERFACE -Wall -Wextra)
+endif()

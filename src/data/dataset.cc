@@ -54,6 +54,11 @@ Dataset Dataset::LoadCsv(const std::string& path) {
     }
   }
   if (dims <= 0) throw std::runtime_error("empty CSV " + path);
+  if (dims > kMaxDims) {
+    throw std::runtime_error(path + " has " + std::to_string(dims) +
+                             " columns; at most " +
+                             std::to_string(kMaxDims) + " supported");
+  }
   return FromRowMajor(dims, values);
 }
 
@@ -93,6 +98,10 @@ Dataset Dataset::LoadBinary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&d), 8);
   in.read(reinterpret_cast<char*>(&n), 8);
   if (magic != kBinaryMagic) throw std::runtime_error("bad magic in " + path);
+  if (d < 1 || d > static_cast<uint64_t>(kMaxDims)) {
+    throw std::runtime_error(path + " declares d=" + std::to_string(d) +
+                             "; expected 1.." + std::to_string(kMaxDims));
+  }
   Dataset out(static_cast<int>(d), n);
   in.read(reinterpret_cast<char*>(out.rows_.data()),
           static_cast<std::streamsize>(sizeof(Value) * n *

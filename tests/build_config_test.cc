@@ -1,0 +1,59 @@
+// Copyright (c) SkyBench-NG contributors.
+// Guards the build-system contract: the generated version header, the
+// SIMD padding invariants the CMake subsystem promises the kernels, and
+// the runtime/compile-time AVX2 gating relationship.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/types.h"
+#include "common/version.h"
+#include "data/dataset.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+namespace {
+
+TEST(BuildConfigTest, VersionHeaderIsConfigured) {
+  // configure_file must have substituted every placeholder.
+  EXPECT_GE(kVersionMajor, 0);
+  EXPECT_GE(kVersionMinor, 0);
+  EXPECT_GE(kVersionPatch, 0);
+  EXPECT_GT(std::strlen(kVersionString), 0u);
+  EXPECT_EQ(std::strchr(kVersionString, '@'), nullptr);
+  EXPECT_EQ(std::strchr(kBuildType, '@'), nullptr);
+}
+
+TEST(BuildConfigTest, StrideIsSimdPaddedForAllDims) {
+  for (int d = 1; d <= kMaxDims; ++d) {
+    const int stride = Dataset::StrideFor(d);
+    EXPECT_GE(stride, d) << "d=" << d;
+    EXPECT_EQ(stride % kSimdWidth, 0) << "d=" << d;
+  }
+}
+
+TEST(BuildConfigTest, CpuAvx2ImpliesKernelsCompiledIn) {
+  // CpuHasAvx2() must never report true unless the AVX2 translation unit
+  // was actually built with the vector kernels; DomCtx relies on this to
+  // dispatch safely.
+  if (!kBuildHasAvx2) {
+    EXPECT_FALSE(CpuHasAvx2());
+  }
+  DomCtx dom(4, Dataset::StrideFor(4), /*use_simd=*/true);
+  EXPECT_EQ(dom.simd(), CpuHasAvx2());
+}
+
+TEST(BuildConfigTest, PaddingLanesAreZeroInitialised) {
+  // The CMake-visible promise AlignedBuffer makes to the SIMD kernels:
+  // lanes beyond dims() compare equal (zero) and never flip a verdict.
+  Dataset data(3, 4);
+  for (size_t i = 0; i < data.count(); ++i) {
+    const Value* row = data.Row(i);
+    for (int j = data.dims(); j < data.stride(); ++j) {
+      EXPECT_EQ(row[j], 0.0f) << "row " << i << " lane " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sky

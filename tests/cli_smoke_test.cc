@@ -1,0 +1,130 @@
+// Copyright (c) SkyBench-NG contributors.
+// End-to-end smoke test: shells out to the built `skybench` CLI binary
+// and checks exit codes plus the shape of its stdout. The binary path is
+// injected by CMake as SKYBENCH_CLI_PATH.
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#ifndef SKYBENCH_CLI_PATH
+#error "SKYBENCH_CLI_PATH must be defined by the build system"
+#endif
+
+namespace sky::test {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+CliResult RunCli(const std::string& args) {
+  // Fold stderr into the captured stream so Usage() text is observable.
+  const std::string cmd = std::string(SKYBENCH_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  CliResult r;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) r.out += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(CliSmokeTest, TinyGeneratedRunVerifies) {
+  const CliResult r =
+      RunCli("--algo=hybrid --dist=indep --n=500 --d=4 --seed=7 --verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("dataset: n=500 d=4"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Hybrid"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("|sky|="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verification: OK"), std::string::npos) << r.out;
+}
+
+TEST(CliSmokeTest, SequentialBaselineAgreesWithQflow) {
+  const CliResult a =
+      RunCli("--algo=sfs --dist=anti --n=300 --d=5 --seed=11 --verify");
+  const CliResult b =
+      RunCli("--algo=qflow --dist=anti --n=300 --d=5 --seed=11 --verify");
+  EXPECT_EQ(a.exit_code, 0) << a.out;
+  EXPECT_EQ(b.exit_code, 0) << b.out;
+  // Same seed, same workload: both must report the same skyline size.
+  const auto size_of = [](const std::string& out) {
+    const size_t pos = out.find("|sky|=");
+    EXPECT_NE(pos, std::string::npos) << out;
+    if (pos == std::string::npos) return std::string();
+    const size_t end = out.find(' ', pos);
+    return out.substr(pos, end - pos);
+  };
+  EXPECT_EQ(size_of(a.out), size_of(b.out));
+}
+
+TEST(CliSmokeTest, OutputCsvHasSkylineRows) {
+  const std::string path =
+      ::testing::TempDir() + "/skybench_smoke_out.csv";
+  std::remove(path.c_str());
+  const CliResult r = RunCli("--algo=bnl --dist=corr --n=200 --d=3 --seed=3 "
+                             "--output=" + path);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "CLI did not write " << path;
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    // Every row must have exactly d=3 comma-separated fields.
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2) << line;
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CliSmokeTest, HelpExitsZeroVersionReportsBuild) {
+  const CliResult help = RunCli("--help");
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos) << help.out;
+
+  const CliResult version = RunCli("--version");
+  EXPECT_EQ(version.exit_code, 0);
+  EXPECT_NE(version.out.find("skybench "), std::string::npos) << version.out;
+  EXPECT_NE(version.out.find("AVX2 kernels"), std::string::npos) << version.out;
+}
+
+TEST(CliSmokeTest, BadFlagExitsWithUsage) {
+  const CliResult r = RunCli("--definitely-not-a-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos) << r.out;
+}
+
+TEST(CliSmokeTest, InvalidInputsFailCleanlyNotAbort) {
+  // Unknown names, unreadable files and out-of-range dims must produce a
+  // diagnostic and exit 2 — never std::terminate (exit 134).
+  const std::string wide_csv = ::testing::TempDir() + "/skybench_wide.csv";
+  {
+    std::ofstream f(wide_csv);
+    for (int j = 0; j < 17; ++j) f << (j ? ",1" : "1");  // d=17 > kMaxDims
+    f << "\n";
+  }
+  const std::string wide_arg = "--input=" + wide_csv;
+  for (const char* args : {"--algo=noexist --n=10", "--dist=noexist --n=10",
+                           "--input=/definitely/not/here.csv",
+                           "--d=99 --n=10", "--d=0 --n=10",
+                           wide_arg.c_str()}) {
+    const CliResult r = RunCli(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("error:"), std::string::npos) << args << "\n"
+                                                       << r.out;
+  }
+  std::remove(wide_csv.c_str());
+}
+
+}  // namespace
+}  // namespace sky::test

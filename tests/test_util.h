@@ -18,6 +18,7 @@ inline Dataset MakeDataset(std::initializer_list<std::vector<float>> rows) {
   if (rows.size() == 0) return Dataset{};
   const int dims = static_cast<int>(rows.begin()->size());
   std::vector<float> flat;
+  flat.reserve(rows.size() * rows.begin()->size());
   for (const auto& row : rows) {
     flat.insert(flat.end(), row.begin(), row.end());
   }

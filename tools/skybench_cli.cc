@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "common/version.h"
 #include "core/skyline.h"
 #include "data/generator.h"
 #include "data/realistic.h"
+#include "dominance/dominance.h"
 
 namespace sky {
 namespace {
@@ -37,9 +39,17 @@ struct CliArgs {
   bool verify = false;
 };
 
-[[noreturn]] void Usage() {
+[[noreturn]] void Version() {
+  std::printf("skybench %s (%s build, AVX2 kernels %s, cpu avx2 %s)\n",
+              kVersionString, kBuildType[0] != '\0' ? kBuildType : "unknown",
+              kBuildHasAvx2 ? "compiled" : "absent",
+              CpuHasAvx2() ? "yes" : "no");
+  std::exit(0);
+}
+
+[[noreturn]] void Usage(int exit_code = 2) {
   std::fprintf(
-      stderr,
+      exit_code == 0 ? stdout : stderr,
       "usage: skybench [options]\n"
       "  --algo=NAME      bnl|sfs|less|salsa|sskyline|pskyline|psfs|qflow|\n"
       "                   hybrid|bskytree|pbskytree|all      (default hybrid)\n"
@@ -53,8 +63,10 @@ struct CliArgs {
       "  --seed=S         generator / random pivot seed\n"
       "  --no-simd        scalar dominance kernels\n"
       "  --stats          print the phase breakdown\n"
-      "  --verify         cross-check against the BNL oracle\n");
-  std::exit(2);
+      "  --verify         cross-check against the BNL oracle\n"
+      "  --version        print build identity and exit\n"
+      "  --help           print this message and exit\n");
+  std::exit(exit_code);
 }
 
 bool Flag(const char* arg, const char* name, const char** value) {
@@ -88,6 +100,9 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
     else if (Flag(argv[i], "--stats", &v)) a.stats = true;
     else if (Flag(argv[i], "--verify", &v)) a.verify = true;
+    else if (Flag(argv[i], "--version", &v)) Version();
+    else if (Flag(argv[i], "--help", &v) || std::strcmp(argv[i], "-h") == 0)
+      Usage(0);
     else Usage();
   }
   return a;
@@ -144,20 +159,34 @@ void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
 }  // namespace
 }  // namespace sky
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const sky::CliArgs args = sky::Parse(argc, argv);
-  const sky::Dataset data = sky::LoadData(args);
-  std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
+  if (args.input.empty() && (args.d < 1 || args.d > sky::kMaxDims)) {
+    std::fprintf(stderr, "error: --d must be in [1, %d], got %d\n",
+                 sky::kMaxDims, args.d);
+    return 2;
+  }
+  // Resolve algorithm names before the (possibly expensive) data load so
+  // a typo fails fast.
+  std::vector<sky::Algorithm> algos;
   if (args.algo == "all") {
     for (const char* name :
          {"bnl", "sfs", "less", "salsa", "sskyline", "pskyline",
           "apskyline", "psfs",
           "qflow", "hybrid", "bskytree", "bskytree-s", "osp",
           "pbskytree"}) {
-      sky::RunOne(data, sky::ParseAlgorithm(name), args);
+      algos.push_back(sky::ParseAlgorithm(name));
     }
   } else {
-    sky::RunOne(data, sky::ParseAlgorithm(args.algo), args);
+    algos.push_back(sky::ParseAlgorithm(args.algo));
   }
+  const sky::Dataset data = sky::LoadData(args);
+  std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
+  for (const sky::Algorithm algo : algos) sky::RunOne(data, algo, args);
   return 0;
+} catch (const std::exception& e) {
+  // Unknown algorithm/distribution names and unreadable inputs surface
+  // here; fail with a clean diagnostic instead of std::terminate.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }
