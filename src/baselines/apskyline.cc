@@ -29,7 +29,8 @@ void AnglesOf(const Value* row, const std::vector<Value>& mins, int d,
     shifted[static_cast<size_t>(j)] = row[j] - mins[static_cast<size_t>(j)];
   }
   for (int j = d - 1; j >= 1; --j) {
-    sq_suffix += shifted[static_cast<size_t>(j)] * shifted[static_cast<size_t>(j)];
+    sq_suffix +=
+        shifted[static_cast<size_t>(j)] * shifted[static_cast<size_t>(j)];
     if (j - 1 < d - 1) {
       out[j - 1] = std::atan2(std::sqrt(sq_suffix),
                               shifted[static_cast<size_t>(j - 1)]);

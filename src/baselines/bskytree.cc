@@ -22,7 +22,8 @@ size_t BalancedPivotIndex(const WorkingSet& ws,
     const Value* r = ws.Row(p);
     float mn = 1e30f, mx = -1e30f;
     for (int j = 0; j < d; ++j) {
-      const float span = hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
+      const float span =
+          hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
       const float norm =
           span > 0 ? (r[j] - lo[static_cast<size_t>(j)]) / span : 0.0f;
       mn = std::min(mn, norm);

@@ -86,7 +86,8 @@ class Tree {
 /// smaller ranges; a replacement pass then guarantees skyline membership.
 /// `lo`/`hi` are global per-dimension bounds used for normalisation.
 /// Returns an index *position* into pts.
-size_t BalancedPivotIndex(const WorkingSet& ws, const std::vector<uint32_t>& pts,
+size_t BalancedPivotIndex(const WorkingSet& ws,
+                          const std::vector<uint32_t>& pts,
                           const std::vector<Value>& lo,
                           const std::vector<Value>& hi, const DomCtx& dom,
                           uint64_t* dts);

@@ -21,6 +21,11 @@ WorkloadCache& WorkloadCache::Instance() {
 const Dataset& WorkloadCache::Get(const WorkloadSpec& spec) {
   const Key key{static_cast<int>(spec.dist), spec.count, spec.dims,
                 spec.seed};
+  // Generation runs under the lock: two racing callers of the same spec
+  // would otherwise both generate, and the loser's Dataset would be
+  // destroyed while the winner's reference escapes. Losing generation
+  // parallelism is fine — the cache exists to avoid regeneration at all.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     auto data = std::make_unique<Dataset>(
@@ -30,6 +35,9 @@ const Dataset& WorkloadCache::Get(const WorkloadSpec& spec) {
   return *it->second;
 }
 
-void WorkloadCache::Clear() { cache_.clear(); }
+void WorkloadCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
 
 }  // namespace sky

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 
@@ -25,6 +26,11 @@ struct WorkloadSpec {
 };
 
 /// Process-wide cache of generated datasets, keyed by the full spec.
+/// Thread-safe: concurrent Get calls (as issued by multi-threaded harness
+/// drivers) serialize on an internal mutex, and the heap-allocated
+/// datasets stay at stable addresses across later insertions. Returned
+/// references remain valid until Clear(), which must not run concurrently
+/// with users of previously returned datasets.
 class WorkloadCache {
  public:
   static WorkloadCache& Instance();
@@ -37,7 +43,8 @@ class WorkloadCache {
 
  private:
   using Key = std::tuple<int, size_t, int, uint64_t>;
-  std::map<Key, std::unique_ptr<Dataset>> cache_;
+  std::mutex mu_;
+  std::map<Key, std::unique_ptr<Dataset>> cache_;  // guarded by mu_
 };
 
 }  // namespace sky

@@ -116,7 +116,9 @@ std::vector<Value> Dataset::MinPerDim() const {
   for (size_t i = 1; i < count_; ++i) {
     const Value* r = Row(i);
     for (int j = 0; j < dims_; ++j) {
-      if (r[j] < mins[static_cast<size_t>(j)]) mins[static_cast<size_t>(j)] = r[j];
+      if (r[j] < mins[static_cast<size_t>(j)]) {
+        mins[static_cast<size_t>(j)] = r[j];
+      }
     }
   }
   return mins;
@@ -128,7 +130,9 @@ std::vector<Value> Dataset::MaxPerDim() const {
   for (size_t i = 1; i < count_; ++i) {
     const Value* r = Row(i);
     for (int j = 0; j < dims_; ++j) {
-      if (r[j] > maxs[static_cast<size_t>(j)]) maxs[static_cast<size_t>(j)] = r[j];
+      if (r[j] > maxs[static_cast<size_t>(j)]) {
+        maxs[static_cast<size_t>(j)] = r[j];
+      }
     }
   }
   return maxs;

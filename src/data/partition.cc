@@ -140,7 +140,8 @@ std::vector<Value> BalancedPivot(const WorkingSet& ws, const DomCtx& dom) {
     const Value* r = ws.Row(i);
     float mn = 1e30f, mx = -1e30f;
     for (int j = 0; j < ws.dims; ++j) {
-      const float span = hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
+      const float span =
+          hi[static_cast<size_t>(j)] - lo[static_cast<size_t>(j)];
       const float norm =
           span > 0 ? (r[j] - lo[static_cast<size_t>(j)]) / span : 0.0f;
       mn = std::min(mn, norm);

@@ -1,0 +1,254 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/skyband.h"
+#include "core/skyline.h"
+#include "query/view.h"
+
+namespace sky {
+namespace {
+
+/// Top-k rank score. NaN (possible in loaded CSV data) sorts last —
+/// mapping it to +inf keeps std::sort's strict weak ordering intact.
+Value RankScore(const Dataset& view, size_t row) {
+  const Value s = ViewRowScore(view, row);
+  return std::isnan(s) ? std::numeric_limits<Value>::infinity() : s;
+}
+
+}  // namespace
+
+QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
+                     const Options& opts) {
+  const QuerySpec canon = spec.Canonicalize(data.dims());
+  QueryResult r;
+
+  // Fast path: the native question needs no view at all.
+  const bool identity = canon.IsIdentityTransform();
+  QueryView view;
+  const Dataset* target = &data;
+  if (!identity) {
+    view = MaterializeView(data, canon);
+    target = &view.data;
+  }
+  r.matched_rows = target->count();
+  if (target->count() == 0) return r;
+
+  std::vector<PointId> view_rows;  // result ids in view-local row space
+  if (canon.band_k == 1) {
+    Result run = ComputeSkyline(*target, opts);
+    r.stats = run.stats;
+    view_rows = std::move(run.skyline);
+    r.dominator_counts.assign(view_rows.size(), 0u);
+  } else {
+    SkybandResult run = ComputeSkyband(*target, canon.band_k, opts);
+    r.stats = run.stats;
+    view_rows = std::move(run.skyband);
+    r.dominator_counts = std::move(run.dominator_counts);
+  }
+
+  // Map view-local rows back to original dataset row ids.
+  r.ids.resize(view_rows.size());
+  if (identity) {
+    std::copy(view_rows.begin(), view_rows.end(), r.ids.begin());
+  } else {
+    for (size_t i = 0; i < view_rows.size(); ++i) {
+      r.ids[i] = view.row_ids[view_rows[i]];
+    }
+  }
+
+  if (canon.top_k > 0) {
+    // Rank by (dominator count asc, view score asc, original id asc).
+    std::vector<size_t> order(view_rows.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::vector<Value> scores(view_rows.size());
+    for (size_t i = 0; i < view_rows.size(); ++i) {
+      scores[i] = RankScore(*target, view_rows[i]);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (r.dominator_counts[a] != r.dominator_counts[b]) {
+        return r.dominator_counts[a] < r.dominator_counts[b];
+      }
+      if (scores[a] != scores[b]) return scores[a] < scores[b];
+      return r.ids[a] < r.ids[b];
+    });
+    const size_t keep = std::min(canon.top_k, order.size());
+    std::vector<PointId> ids(keep);
+    std::vector<uint32_t> counts(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      ids[i] = r.ids[order[i]];
+      counts[i] = r.dominator_counts[order[i]];
+    }
+    r.ids = std::move(ids);
+    r.dominator_counts = std::move(counts);
+  }
+
+  r.stats.other_seconds += view.materialize_seconds;
+  r.stats.total_seconds += view.materialize_seconds;
+  r.stats.skyline_size = r.ids.size();
+  return r;
+}
+
+bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
+                 const QueryResult& r) {
+  // Brute-force reference: count dominators by definition with plain
+  // nested loops on the materialized view — no ComputeSkyline /
+  // ComputeSkyband code path is shared, so an algorithm bug cannot
+  // reproduce itself in the reference (only the rewriter is common).
+  const QuerySpec canon = spec.Canonicalize(data.dims());
+  const QueryView view = MaterializeView(data, canon);
+  const Dataset& v = view.data;
+  const int d = v.dims();
+
+  std::vector<PointId> rows;     // view-local qualifying rows
+  std::vector<uint32_t> counts;  // their exact dominator counts
+  for (size_t i = 0; i < v.count(); ++i) {
+    const Value* q = v.Row(i);
+    uint32_t c = 0;
+    for (size_t j = 0; j < v.count() && c < canon.band_k; ++j) {
+      if (j == i) continue;
+      const Value* p = v.Row(j);
+      bool all_le = true, some_lt = false;
+      for (int k = 0; k < d; ++k) {
+        all_le &= p[k] <= q[k];
+        some_lt |= p[k] < q[k];
+      }
+      c += (all_le && some_lt);
+    }
+    if (c < canon.band_k) {
+      rows.push_back(static_cast<PointId>(i));
+      counts.push_back(c);
+    }
+  }
+
+  std::vector<std::pair<PointId, uint32_t>> expect;
+  if (canon.top_k > 0) {
+    std::vector<size_t> order(rows.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (counts[a] != counts[b]) return counts[a] < counts[b];
+      const Value sa = RankScore(v, rows[a]), sb = RankScore(v, rows[b]);
+      if (sa != sb) return sa < sb;
+      return view.row_ids[rows[a]] < view.row_ids[rows[b]];
+    });
+    const size_t keep = std::min(canon.top_k, order.size());
+    for (size_t i = 0; i < keep; ++i) {
+      expect.emplace_back(view.row_ids[rows[order[i]]], counts[order[i]]);
+    }
+    // Ranked results are fully deterministic: compare in order.
+    std::vector<std::pair<PointId, uint32_t>> got;
+    for (size_t i = 0; i < r.ids.size(); ++i) {
+      got.emplace_back(r.ids[i], r.dominator_counts[i]);
+    }
+    return got == expect;
+  }
+
+  for (size_t i = 0; i < rows.size(); ++i) {
+    expect.emplace_back(view.row_ids[rows[i]], counts[i]);
+  }
+  std::vector<std::pair<PointId, uint32_t>> got;
+  for (size_t i = 0; i < r.ids.size(); ++i) {
+    got.emplace_back(r.ids[i], r.dominator_counts[i]);
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  return got == expect;
+}
+
+SkylineEngine::SkylineEngine() : SkylineEngine(Config{}) {}
+
+SkylineEngine::SkylineEngine(Config config)
+    : cache_(config.result_cache_capacity) {}
+
+namespace {
+
+/// Every cache key of (name, version) starts with this prefix; versions
+/// are globally unique so the prefix cannot collide across datasets.
+std::string CacheKeyPrefix(const std::string& name, uint64_t version) {
+  return name + "@" + std::to_string(version) + "|";
+}
+
+}  // namespace
+
+uint64_t SkylineEngine::RegisterDataset(const std::string& name,
+                                        Dataset data) {
+  auto holder = std::make_shared<const Dataset>(std::move(data));
+  uint64_t replaced_version = 0;
+  uint64_t version = 0;
+  {
+    std::unique_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it != registry_.end()) replaced_version = it->second.version;
+    version = next_version_++;
+    registry_[name] = Registered{std::move(holder), version};
+  }
+  // The old generation can never be served again (versions are never
+  // reused); free its results instead of letting them squat in the LRU.
+  if (replaced_version != 0) {
+    cache_.ErasePrefix(CacheKeyPrefix(name, replaced_version));
+  }
+  return version;
+}
+
+bool SkylineEngine::EvictDataset(const std::string& name) {
+  uint64_t version = 0;
+  {
+    std::unique_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) return false;
+    version = it->second.version;
+    registry_.erase(it);
+  }
+  cache_.ErasePrefix(CacheKeyPrefix(name, version));
+  return true;
+}
+
+std::shared_ptr<const Dataset> SkylineEngine::Find(
+    const std::string& name) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.data;
+}
+
+std::vector<std::string> SkylineEngine::DatasetNames() const {
+  std::shared_lock lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, entry] : registry_) names.push_back(name);
+  return names;
+}
+
+QueryResult SkylineEngine::Execute(const std::string& name,
+                                   const QuerySpec& spec,
+                                   const Options& opts) {
+  std::shared_ptr<const Dataset> data;
+  uint64_t version = 0;
+  {
+    std::shared_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      throw std::runtime_error("query engine: unknown dataset '" + name + "'");
+    }
+    data = it->second.data;
+    version = it->second.version;
+  }
+
+  // Canonicalize before keying so equivalent spellings share an entry.
+  const QuerySpec canon = spec.Canonicalize(data->dims());
+  const std::string key = CacheKeyPrefix(name, version) + canon.CanonicalKey();
+  if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
+    QueryResult out = *hit;
+    out.cache_hit = true;
+    return out;
+  }
+  QueryResult fresh = RunQuery(*data, canon, opts);
+  cache_.Put(key, std::make_shared<const QueryResult>(fresh));
+  return fresh;
+}
+
+}  // namespace sky

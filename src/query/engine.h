@@ -1,0 +1,103 @@
+// Copyright (c) SkyBench-NG contributors.
+// SkylineEngine: the long-lived serving layer on top of the algorithm
+// suite. Holds a registry of named datasets (padded rows built once at
+// registration), rewrites each QuerySpec into a materialized view, runs
+// any of the implemented algorithms against it, maps ids back, and caches
+// finished results in an LRU keyed by the canonical spec. All public
+// methods are safe to call concurrently from many threads.
+#ifndef SKY_QUERY_ENGINE_H_
+#define SKY_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "query/query_spec.h"
+#include "query/result_cache.h"
+
+namespace sky {
+
+/// Result of one query: original-dataset row ids plus per-id dominator
+/// counts under the query's dominance relation (all zero when band_k == 1).
+struct QueryResult {
+  std::vector<PointId> ids;
+  std::vector<uint32_t> dominator_counts;  ///< parallel to `ids`
+  size_t matched_rows = 0;  ///< rows inside the constraint box
+  bool cache_hit = false;   ///< true when served from the result cache
+  RunStats stats;           ///< stats of the run that produced the entry
+};
+
+/// One-shot, uncached execution of `spec` against `data` with the
+/// algorithm/threads/alpha selection in `opts` (band_k > 1 routes to
+/// ComputeSkyband, which ignores the algorithm field). This is the whole
+/// rewrite pipeline: canonicalize, materialize the view, compute, map ids
+/// back, apply the top-k cap. Throws std::runtime_error on invalid specs.
+QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
+                     const Options& opts = Options{});
+
+/// Re-run `spec` through the BNL reference path and compare id sets (and
+/// dominator counts) against `r`. O(view^2); test and --verify use.
+bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
+                 const QueryResult& r);
+
+class SkylineEngine {
+ public:
+  struct Config {
+    /// Max finished results kept in the LRU cache (0 disables caching).
+    size_t result_cache_capacity = 128;
+  };
+
+  SkylineEngine();  // default Config
+  explicit SkylineEngine(Config config);
+
+  SkylineEngine(const SkylineEngine&) = delete;
+  SkylineEngine& operator=(const SkylineEngine&) = delete;
+
+  /// Register (or replace) a dataset under `name`. Replacement bumps the
+  /// version, so cached results of the old generation can never be served
+  /// for the new data. Returns the registered version.
+  uint64_t RegisterDataset(const std::string& name, Dataset data);
+
+  /// Drop `name` from the registry and purge its result-cache entries.
+  /// In-flight queries holding the dataset finish safely (shared
+  /// ownership). Returns false if absent.
+  bool EvictDataset(const std::string& name);
+
+  /// Look up a registered dataset (nullptr if absent).
+  std::shared_ptr<const Dataset> Find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> DatasetNames() const;
+
+  /// Execute `spec` against the dataset registered under `name`,
+  /// consulting the result cache first. Safe for concurrent callers; two
+  /// racing misses on the same key may both compute (last insert wins —
+  /// both results are correct). Throws std::runtime_error for unknown
+  /// names or invalid specs.
+  QueryResult Execute(const std::string& name, const QuerySpec& spec,
+                      const Options& opts = Options{});
+
+  void ClearCache() { cache_.Clear(); }
+  LruCache<QueryResult>::Counters cache_counters() const {
+    return cache_.counters();
+  }
+
+ private:
+  struct Registered {
+    std::shared_ptr<const Dataset> data;
+    uint64_t version = 0;
+  };
+
+  mutable std::shared_mutex registry_mu_;
+  std::map<std::string, Registered> registry_;  // guarded by registry_mu_
+  uint64_t next_version_ = 1;                   // guarded by registry_mu_
+  LruCache<QueryResult> cache_;
+};
+
+}  // namespace sky
+
+#endif  // SKY_QUERY_ENGINE_H_

@@ -1,0 +1,109 @@
+// Copyright (c) SkyBench-NG contributors.
+// Thread-safe LRU cache of finished query results, keyed by the engine's
+// canonical (dataset @ version | spec) strings. Entries are shared_ptrs so
+// a hit never copies the (possibly large) id vectors under the lock and an
+// eviction never invalidates a result a reader still holds.
+#ifndef SKY_QUERY_RESULT_CACHE_H_
+#define SKY_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace sky {
+
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Fetch and promote to most-recently-used; nullptr on miss.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  /// Insert (or refresh) a value, evicting the least-recently-used entry
+  /// past capacity. A capacity of 0 disables caching entirely.
+  void Put(const std::string& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    order_.clear();
+  }
+
+  /// Drop every entry whose key starts with `prefix`. O(entries); used
+  /// when a dataset generation dies (eviction / re-registration) so its
+  /// unreachable results stop pinning memory and LRU slots.
+  size_t ErasePrefix(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        index_.erase(it->first);
+        it = order_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Counters{hits_, misses_, evictions_, order_.size()};
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace sky
+
+#endif  // SKY_QUERY_RESULT_CACHE_H_

@@ -1,0 +1,70 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "query/view.h"
+
+#include "common/timer.h"
+
+namespace sky {
+
+QueryView MaterializeView(const Dataset& data, const QuerySpec& spec) {
+  WallTimer timer;
+  QueryView view;
+  const int dims = data.dims();
+  for (int j = 0; j < dims; ++j) {
+    if (spec.preferences[static_cast<size_t>(j)] != Preference::kIgnore) {
+      view.kept_dims.push_back(j);
+    }
+  }
+
+  // Pass 1: evaluate the constraint box on original values.
+  std::vector<PointId> survivors;
+  if (spec.constraints.empty()) {
+    survivors.resize(data.count());
+    for (size_t i = 0; i < data.count(); ++i) {
+      survivors[i] = static_cast<PointId>(i);
+    }
+  } else {
+    for (size_t i = 0; i < data.count(); ++i) {
+      const Value* row = data.Row(i);
+      bool inside = true;
+      for (const DimConstraint& c : spec.constraints) {
+        // Inclusion form so a NaN coordinate fails the box (matches the
+        // closed-interval contract instead of silently passing).
+        const Value v = row[c.dim];
+        if (!(v >= c.lo && v <= c.hi)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) survivors.push_back(static_cast<PointId>(i));
+    }
+  }
+
+  // Pass 2: copy surviving rows, keeping only non-ignored dimensions and
+  // flipping MAX columns so min-dominance on the view is exactly the
+  // query's preference dominance on the original.
+  const int view_dims = static_cast<int>(view.kept_dims.size());
+  view.data = Dataset(view_dims, survivors.size());
+  for (size_t w = 0; w < survivors.size(); ++w) {
+    const Value* src = data.Row(survivors[w]);
+    Value* dst = view.data.MutableRow(w);
+    for (int j = 0; j < view_dims; ++j) {
+      const int orig = view.kept_dims[static_cast<size_t>(j)];
+      const Value v = src[orig];
+      dst[j] =
+          spec.preferences[static_cast<size_t>(orig)] == Preference::kMax ? -v
+                                                                          : v;
+    }
+  }
+  view.row_ids = std::move(survivors);
+  view.materialize_seconds = timer.Seconds();
+  return view;
+}
+
+Value ViewRowScore(const Dataset& view, size_t row) {
+  const Value* r = view.Row(row);
+  Value sum = 0;
+  for (int j = 0; j < view.dims(); ++j) sum += r[j];
+  return sum;
+}
+
+}  // namespace sky

@@ -1,0 +1,44 @@
+// Copyright (c) SkyBench-NG contributors.
+// Query rewriter: materializes a QuerySpec against a Dataset as a plain
+// Dataset *view* the unmodified algorithm suite can consume. The rewrite
+// is purely in data space — MAX dimensions are negated (dominance under
+// "larger is better" equals min-dominance of the negated column), IGNORE
+// dimensions are dropped, and rows outside the constraint box are removed
+// — so every algorithm keeps answering its one native question while the
+// engine answers many.
+#ifndef SKY_QUERY_VIEW_H_
+#define SKY_QUERY_VIEW_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query_spec.h"
+
+namespace sky {
+
+/// A materialized query view plus the bookkeeping to translate results
+/// back into the original dataset's row ids.
+struct QueryView {
+  /// Transformed dataset: one row per constraint-surviving original row,
+  /// one column per non-ignored dimension, MAX columns negated.
+  Dataset data;
+  /// View row -> original row id (size == data.count()).
+  std::vector<PointId> row_ids;
+  /// View column -> original dimension (ascending; size == data.dims()).
+  std::vector<int> kept_dims;
+  /// Wall time spent building the view.
+  double materialize_seconds = 0.0;
+};
+
+/// Build the view of `data` under `spec`. `spec` must already be in
+/// canonical form for `data.dims()` (see QuerySpec::Canonicalize).
+QueryView MaterializeView(const Dataset& data, const QuerySpec& spec);
+
+/// Rank score of a view row under the top-k cap: the sum of its (already
+/// preference-oriented) view coordinates — "best combined trade-off
+/// first". Exposed so engine and tests share one float-exact definition.
+Value ViewRowScore(const Dataset& view, size_t row);
+
+}  // namespace sky
+
+#endif  // SKY_QUERY_VIEW_H_

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -96,6 +97,57 @@ TEST(CliSmokeTest, HelpExitsZeroVersionReportsBuild) {
   EXPECT_EQ(version.exit_code, 0);
   EXPECT_NE(version.out.find("skybench "), std::string::npos) << version.out;
   EXPECT_NE(version.out.find("AVX2 kernels"), std::string::npos) << version.out;
+}
+
+TEST(CliSmokeTest, KbandFlagServesSkybandAndVerifies) {
+  const CliResult r =
+      RunCli("--dist=indep --n=400 --d=4 --seed=9 --kband=3 --verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("|result|="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verification: OK"), std::string::npos) << r.out;
+
+  // The 3-skyband contains the skyline, so it can only be larger.
+  const auto count_of = [](const std::string& out, const char* tag) {
+    const size_t pos = out.find(tag);
+    EXPECT_NE(pos, std::string::npos) << out;
+    return pos == std::string::npos
+               ? -1L
+               : std::atol(out.c_str() + pos + std::strlen(tag));
+  };
+  const CliResult sky =
+      RunCli("--algo=bnl --dist=indep --n=400 --d=4 --seed=9");
+  EXPECT_GE(count_of(r.out, "|result|="), count_of(sky.out, "|sky|="))
+      << r.out << sky.out;
+}
+
+TEST(CliSmokeTest, QueryFlagsRouteThroughEngineAndVerify) {
+  const CliResult r = RunCli(
+      "--algo=qflow --dist=indep --n=400 --d=4 --seed=13 "
+      "--minmax=min,max,min,ignore --constrain=0:0.1:0.9 --topk=5 --verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("|result|="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("matched="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verification: OK"), std::string::npos) << r.out;
+
+  const CliResult proj = RunCli(
+      "--dist=anti --n=300 --d=5 --seed=3 --project=0,2 --verify");
+  EXPECT_EQ(proj.exit_code, 0) << proj.out;
+  EXPECT_NE(proj.out.find("verification: OK"), std::string::npos) << proj.out;
+}
+
+TEST(CliSmokeTest, BadQuerySpecsFailCleanlyNotAbort) {
+  for (const char* args :
+       {"--n=50 --d=4 --minmax=bogus", "--n=50 --d=4 --minmax=min,max",
+        "--n=50 --d=4 --constrain=9:0:1", "--n=50 --d=4 --constrain=0:junk:1",
+        "--n=50 --d=4 --kband=0", "--n=50 --d=4 --project=7",
+        "--n=50 --d=4 --kband=-1", "--n=50 --d=4 --topk=-2",
+        "--n=50 --d=4 --kband=4294967297", "--n=50 --d=4 --kband=junk",
+        "--n=50 --d=4 --constrain=0:0.9:0.1"}) {
+    const CliResult r = RunCli(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("error:"), std::string::npos) << args << "\n"
+                                                       << r.out;
+  }
 }
 
 TEST(CliSmokeTest, BadFlagExitsWithUsage) {

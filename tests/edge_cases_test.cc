@@ -189,8 +189,9 @@ INSTANTIATE_TEST_SUITE_P(Core, SkylineProperties,
                                            Algorithm::kPBSkyTree),
                          [](const auto& info) {
                            std::string name = AlgorithmName(info.param);
-                           std::erase_if(name,
-                                         [](char c) { return !std::isalnum(c); });
+                           std::erase_if(
+                               name,
+                               [](char c) { return !std::isalnum(c); });
                            return name;
                          });
 

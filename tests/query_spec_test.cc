@@ -1,0 +1,185 @@
+// Copyright (c) SkyBench-NG contributors.
+// QuerySpec parsing, canonicalization and cache-key behavior.
+#include "query/query_spec.h"
+
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+
+namespace sky::test {
+namespace {
+
+constexpr Value kInf = std::numeric_limits<Value>::infinity();
+
+TEST(QuerySpecTest, ParsePreferenceAcceptsNamesAndShorthands) {
+  EXPECT_EQ(ParsePreference("min"), Preference::kMin);
+  EXPECT_EQ(ParsePreference("max"), Preference::kMax);
+  EXPECT_EQ(ParsePreference("ignore"), Preference::kIgnore);
+  EXPECT_EQ(ParsePreference("-"), Preference::kMin);
+  EXPECT_EQ(ParsePreference("+"), Preference::kMax);
+  EXPECT_EQ(ParsePreference("_"), Preference::kIgnore);
+  EXPECT_THROW(ParsePreference("bogus"), std::runtime_error);
+  EXPECT_THROW(ParsePreference(""), std::runtime_error);
+}
+
+TEST(QuerySpecTest, ParsePreferenceList) {
+  const auto prefs = ParsePreferenceList("min,max,_,+");
+  ASSERT_EQ(prefs.size(), 4u);
+  EXPECT_EQ(prefs[0], Preference::kMin);
+  EXPECT_EQ(prefs[1], Preference::kMax);
+  EXPECT_EQ(prefs[2], Preference::kIgnore);
+  EXPECT_EQ(prefs[3], Preference::kMax);
+  EXPECT_THROW(ParsePreferenceList("min,,max"), std::runtime_error);
+}
+
+TEST(QuerySpecTest, ParseIndexList) {
+  EXPECT_EQ(ParseIndexList("0,2,5"), (std::vector<int>{0, 2, 5}));
+  EXPECT_THROW(ParseIndexList("0,x"), std::runtime_error);
+  EXPECT_THROW(ParseIndexList("-1"), std::runtime_error);
+  EXPECT_THROW(ParseIndexList("16"), std::runtime_error);  // >= kMaxDims
+}
+
+TEST(QuerySpecTest, ParseConstraintList) {
+  const auto cs = ParseConstraintList("1:0.25:0.75,3:*:0.5,2:-1:*");
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs[0].dim, 1);
+  EXPECT_FLOAT_EQ(cs[0].lo, 0.25f);
+  EXPECT_FLOAT_EQ(cs[0].hi, 0.75f);
+  EXPECT_EQ(cs[1].dim, 3);
+  EXPECT_EQ(cs[1].lo, -kInf);
+  EXPECT_FLOAT_EQ(cs[1].hi, 0.5f);
+  EXPECT_EQ(cs[2].dim, 2);
+  EXPECT_FLOAT_EQ(cs[2].lo, -1.0f);
+  EXPECT_EQ(cs[2].hi, kInf);
+
+  EXPECT_THROW(ParseConstraintList("1:2"), std::runtime_error);
+  EXPECT_THROW(ParseConstraintList("1:a:b"), std::runtime_error);
+  EXPECT_THROW(ParseConstraintList("oops"), std::runtime_error);
+}
+
+TEST(QuerySpecTest, CanonicalizePadsShortPreferenceLists) {
+  QuerySpec spec;
+  spec.SetPreference(1, Preference::kMax);
+  const QuerySpec canon = spec.Canonicalize(4);
+  ASSERT_EQ(canon.preferences.size(), 4u);
+  EXPECT_EQ(canon.preferences[0], Preference::kMin);
+  EXPECT_EQ(canon.preferences[1], Preference::kMax);
+  EXPECT_EQ(canon.preferences[2], Preference::kMin);
+  EXPECT_EQ(canon.preferences[3], Preference::kMin);
+}
+
+TEST(QuerySpecTest, CanonicalizeRejectsMalformedSpecs) {
+  QuerySpec long_prefs;
+  long_prefs.preferences.assign(5, Preference::kMin);
+  EXPECT_THROW(long_prefs.Canonicalize(4), std::runtime_error);
+
+  QuerySpec all_ignored;
+  all_ignored.preferences.assign(3, Preference::kIgnore);
+  EXPECT_THROW(all_ignored.Canonicalize(3), std::runtime_error);
+
+  QuerySpec zero_band;
+  zero_band.band_k = 0;
+  EXPECT_THROW(zero_band.Canonicalize(3), std::runtime_error);
+
+  QuerySpec bad_dim;
+  bad_dim.Constrain(7, 0.0f, 1.0f);
+  EXPECT_THROW(bad_dim.Canonicalize(4), std::runtime_error);
+
+  QuerySpec empty_box;
+  empty_box.Constrain(0, 0.5f, 0.25f);
+  EXPECT_THROW(empty_box.Canonicalize(4), std::runtime_error);
+
+  // Two disjoint constraints on one dimension intersect to nothing.
+  QuerySpec disjoint;
+  disjoint.Constrain(0, 0.0f, 0.2f).Constrain(0, 0.8f, 1.0f);
+  EXPECT_THROW(disjoint.Canonicalize(4), std::runtime_error);
+}
+
+TEST(QuerySpecTest, CanonicalizeMergesAndSortsConstraints) {
+  QuerySpec spec;
+  spec.Constrain(2, 0.0f, 0.9f)
+      .Constrain(0, 0.1f, kInf)
+      .Constrain(2, 0.3f, 1.5f)
+      .Constrain(1, -kInf, kInf);  // no-op, dropped
+  const QuerySpec canon = spec.Canonicalize(4);
+  ASSERT_EQ(canon.constraints.size(), 2u);
+  EXPECT_EQ(canon.constraints[0].dim, 0);
+  EXPECT_EQ(canon.constraints[1].dim, 2);
+  EXPECT_FLOAT_EQ(canon.constraints[1].lo, 0.3f);
+  EXPECT_FLOAT_EQ(canon.constraints[1].hi, 0.9f);
+}
+
+TEST(QuerySpecTest, EquivalentSpellingsShareACanonicalKey) {
+  const QuerySpec empty_canon = QuerySpec{}.Canonicalize(3);
+  QuerySpec explicit_min;
+  explicit_min.preferences.assign(3, Preference::kMin);
+  EXPECT_EQ(empty_canon.CanonicalKey(),
+            explicit_min.Canonicalize(3).CanonicalKey());
+
+  QuerySpec split_box;
+  split_box.Constrain(1, 0.2f, kInf).Constrain(1, -kInf, 0.8f);
+  QuerySpec one_box;
+  one_box.Constrain(1, 0.2f, 0.8f);
+  EXPECT_EQ(split_box.Canonicalize(3).CanonicalKey(),
+            one_box.Canonicalize(3).CanonicalKey());
+}
+
+TEST(QuerySpecTest, DistinctSemanticsGetDistinctKeys) {
+  const std::string base = QuerySpec{}.Canonicalize(3).CanonicalKey();
+
+  QuerySpec flipped;
+  flipped.SetPreference(2, Preference::kMax);
+  EXPECT_NE(flipped.Canonicalize(3).CanonicalKey(), base);
+
+  QuerySpec banded;
+  banded.band_k = 2;
+  EXPECT_NE(banded.Canonicalize(3).CanonicalKey(), base);
+
+  QuerySpec capped;
+  capped.top_k = 10;
+  EXPECT_NE(capped.Canonicalize(3).CanonicalKey(), base);
+
+  QuerySpec boxed;
+  boxed.Constrain(0, 0.0f, 0.5f);
+  EXPECT_NE(boxed.Canonicalize(3).CanonicalKey(), base);
+}
+
+TEST(QuerySpecTest, IdentityTransformDetection) {
+  EXPECT_TRUE(QuerySpec{}.Canonicalize(4).IsIdentityTransform());
+
+  QuerySpec banded;  // band/topk change the question, not the transform
+  banded.band_k = 3;
+  banded.top_k = 5;
+  EXPECT_TRUE(banded.Canonicalize(4).IsIdentityTransform());
+
+  QuerySpec flipped;
+  flipped.SetPreference(0, Preference::kMax);
+  EXPECT_FALSE(flipped.Canonicalize(4).IsIdentityTransform());
+
+  QuerySpec dropped;
+  dropped.SetPreference(3, Preference::kIgnore);
+  EXPECT_FALSE(dropped.Canonicalize(4).IsIdentityTransform());
+
+  QuerySpec boxed;
+  boxed.Constrain(0, 0.0f, 0.5f);
+  EXPECT_FALSE(boxed.Canonicalize(4).IsIdentityTransform());
+}
+
+TEST(QuerySpecTest, ProjectKeepsListedDimensionsOnly) {
+  QuerySpec spec;
+  spec.SetPreference(1, Preference::kMax);
+  spec.Project({0, 1}, 5);
+  const QuerySpec canon = spec.Canonicalize(5);
+  EXPECT_EQ(canon.preferences[0], Preference::kMin);
+  EXPECT_EQ(canon.preferences[1], Preference::kMax);  // preserved
+  EXPECT_EQ(canon.preferences[2], Preference::kIgnore);
+  EXPECT_EQ(canon.preferences[3], Preference::kIgnore);
+  EXPECT_EQ(canon.preferences[4], Preference::kIgnore);
+
+  QuerySpec bad;
+  EXPECT_THROW(bad.Project({}, 4), std::runtime_error);
+  EXPECT_THROW(bad.Project({4}, 4), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sky::test

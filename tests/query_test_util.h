@@ -1,0 +1,107 @@
+// Copyright (c) SkyBench-NG contributors.
+// Independent brute-force oracle for the query engine: evaluates a
+// QuerySpec's semantics (constraints, preference dominance, band depth,
+// top-k ranking) directly on the original dataset, sharing no code with
+// the rewriter/engine under test.
+#ifndef SKY_TESTS_QUERY_TEST_UTIL_H_
+#define SKY_TESTS_QUERY_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query_spec.h"
+
+namespace sky::test {
+
+struct OracleEntry {
+  PointId id = 0;
+  uint32_t dominators = 0;
+
+  friend bool operator==(const OracleEntry&, const OracleEntry&) = default;
+};
+
+/// All points of `data` that satisfy every constraint and have fewer than
+/// band_k dominators under the preference dominance of `spec`; when
+/// spec.top_k > 0 the result is ranked by (dominators asc, score asc, id
+/// asc) and truncated, otherwise sorted by id.
+inline std::vector<OracleEntry> ReferenceQuery(const Dataset& data,
+                                               const QuerySpec& spec) {
+  const int d = data.dims();
+  std::vector<Preference> prefs = spec.preferences;
+  prefs.resize(static_cast<size_t>(d), Preference::kMin);
+
+  // Candidate rows: inside every constraint box (closed intervals on
+  // original values, ignored dimensions included).
+  std::vector<PointId> cand;
+  for (size_t i = 0; i < data.count(); ++i) {
+    bool ok = true;
+    for (const DimConstraint& c : spec.constraints) {
+      const Value v = data.Row(i)[c.dim];
+      ok &= (v >= c.lo && v <= c.hi);
+    }
+    if (ok) cand.push_back(static_cast<PointId>(i));
+  }
+
+  // p dominates q iff p is at least as good on every non-ignored
+  // dimension and strictly better on one ("good" per the preference).
+  const auto dominates = [&](const Value* p, const Value* q) {
+    bool some_better = false;
+    for (int j = 0; j < d; ++j) {
+      switch (prefs[static_cast<size_t>(j)]) {
+        case Preference::kMin:
+          if (p[j] > q[j]) return false;
+          some_better |= p[j] < q[j];
+          break;
+        case Preference::kMax:
+          if (p[j] < q[j]) return false;
+          some_better |= p[j] > q[j];
+          break;
+        case Preference::kIgnore:
+          break;
+      }
+    }
+    return some_better;
+  };
+
+  std::vector<OracleEntry> out;
+  for (const PointId qi : cand) {
+    uint32_t count = 0;
+    for (const PointId pi : cand) {
+      if (pi != qi && dominates(data.Row(pi), data.Row(qi))) ++count;
+    }
+    if (count < spec.band_k) {
+      out.push_back(OracleEntry{qi, count});
+    }
+  }
+
+  if (spec.top_k > 0) {
+    // Score: the view-coordinate sum — original values, MAX negated,
+    // accumulated in ascending kept-dimension order (float-exact match
+    // with ViewRowScore on the materialized view).
+    const auto score = [&](PointId id) {
+      const Value* row = data.Row(id);
+      Value sum = 0;
+      for (int j = 0; j < d; ++j) {
+        if (prefs[static_cast<size_t>(j)] == Preference::kMin) sum += row[j];
+        if (prefs[static_cast<size_t>(j)] == Preference::kMax) sum += -row[j];
+      }
+      return sum;
+    };
+    std::sort(out.begin(), out.end(),
+              [&](const OracleEntry& a, const OracleEntry& b) {
+                if (a.dominators != b.dominators) {
+                  return a.dominators < b.dominators;
+                }
+                const Value sa = score(a.id), sb = score(b.id);
+                if (sa != sb) return sa < sb;
+                return a.id < b.id;
+              });
+    if (out.size() > spec.top_k) out.resize(spec.top_k);
+  }
+  return out;
+}
+
+}  // namespace sky::test
+
+#endif  // SKY_TESTS_QUERY_TEST_UTIL_H_

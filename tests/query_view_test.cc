@@ -1,0 +1,140 @@
+// Copyright (c) SkyBench-NG contributors.
+// Rewriter unit tests: the materialized view must reflect negation,
+// projection and constraint filtering exactly, with correct row/dim maps.
+#include "query/view.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sky::test {
+namespace {
+
+Dataset SmallData() {
+  return MakeDataset({
+      {0.1f, 0.9f, 5.0f},
+      {0.4f, 0.5f, 6.0f},
+      {0.8f, 0.2f, 7.0f},
+      {0.6f, 0.6f, 8.0f},
+  });
+}
+
+TEST(QueryViewTest, IdentitySpecCopiesEverything) {
+  const Dataset data = SmallData();
+  const QueryView view = MaterializeView(data, QuerySpec{}.Canonicalize(3));
+  ASSERT_EQ(view.data.count(), 4u);
+  ASSERT_EQ(view.data.dims(), 3);
+  EXPECT_EQ(view.kept_dims, (std::vector<int>{0, 1, 2}));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.row_ids[i], static_cast<PointId>(i));
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(view.data.Row(i)[j], data.Row(i)[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(QueryViewTest, MaxDimensionsAreNegated) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.SetPreference(1, Preference::kMax);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  ASSERT_EQ(view.data.count(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.data.Row(i)[0], data.Row(i)[0]);
+    EXPECT_EQ(view.data.Row(i)[1], -data.Row(i)[1]);
+    EXPECT_EQ(view.data.Row(i)[2], data.Row(i)[2]);
+  }
+}
+
+TEST(QueryViewTest, IgnoredDimensionsAreDroppedAndMapped) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.SetPreference(1, Preference::kIgnore);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  ASSERT_EQ(view.data.dims(), 2);
+  EXPECT_EQ(view.kept_dims, (std::vector<int>{0, 2}));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.data.Row(i)[0], data.Row(i)[0]);
+    EXPECT_EQ(view.data.Row(i)[1], data.Row(i)[2]);
+  }
+}
+
+TEST(QueryViewTest, ConstraintsFilterRowsAndKeepOriginalIds) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.Constrain(0, 0.3f, 0.7f);  // keeps rows 1 (0.4) and 3 (0.6)
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  ASSERT_EQ(view.data.count(), 2u);
+  EXPECT_EQ(view.row_ids, (std::vector<PointId>{1, 3}));
+  EXPECT_EQ(view.data.Row(0)[0], 0.4f);
+  EXPECT_EQ(view.data.Row(1)[0], 0.6f);
+}
+
+TEST(QueryViewTest, ConstraintBoundsAreInclusive) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.Constrain(0, 0.4f, 0.6f);  // boundary values stay in
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  EXPECT_EQ(view.row_ids, (std::vector<PointId>{1, 3}));
+}
+
+TEST(QueryViewTest, ConstraintOnIgnoredDimensionStillFilters) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.SetPreference(0, Preference::kIgnore);
+  spec.Constrain(0, 0.0f, 0.45f);  // filter by a dim we do not rank on
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  ASSERT_EQ(view.data.dims(), 2);
+  EXPECT_EQ(view.row_ids, (std::vector<PointId>{0, 1}));
+}
+
+TEST(QueryViewTest, NanCoordinatesFailConstraints) {
+  // Loaded CSVs can contain NaN cells; a NaN can never sit inside a
+  // closed interval, so the row must be filtered (matching the oracle).
+  const Dataset data = MakeDataset({
+      {0.5f, std::nanf("")},
+      {0.2f, 0.3f},
+  });
+  QuerySpec spec;
+  spec.Constrain(1, 0.0f, 1.0f);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(2));
+  EXPECT_EQ(view.row_ids, (std::vector<PointId>{1}));
+}
+
+TEST(QueryViewTest, EmptySurvivorSetYieldsEmptyView) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.Constrain(2, 100.0f, 200.0f);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  EXPECT_EQ(view.data.count(), 0u);
+  EXPECT_TRUE(view.row_ids.empty());
+  EXPECT_EQ(view.data.dims(), 3);
+}
+
+TEST(QueryViewTest, ViewRowScoreSumsTransformedCoordinates) {
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  spec.SetPreference(1, Preference::kMax);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  // Row 0: 0.1 + (-0.9) + 5.0, accumulated left to right.
+  const Value expect = (0.1f + -0.9f) + 5.0f;
+  EXPECT_EQ(ViewRowScore(view.data, 0), expect);
+}
+
+TEST(QueryViewTest, PaddingStaysZeroAfterNegation) {
+  // Dominance kernels read the full padded stride; negation must not
+  // touch the padding lanes.
+  const Dataset data = SmallData();
+  QuerySpec spec;
+  for (int j = 0; j < 3; ++j) spec.SetPreference(j, Preference::kMax);
+  const QueryView view = MaterializeView(data, spec.Canonicalize(3));
+  for (size_t i = 0; i < view.data.count(); ++i) {
+    for (int j = view.data.dims(); j < view.data.stride(); ++j) {
+      EXPECT_EQ(view.data.Row(i)[j], 0.0f) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sky::test

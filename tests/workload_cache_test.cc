@@ -1,0 +1,85 @@
+// Copyright (c) SkyBench-NG contributors.
+// Regression test for the WorkloadCache data race: concurrent Get calls
+// used to mutate the shared std::map with no lock (UB under any parallel
+// harness). Run under TSan by the scheduled CI job — without the mutex in
+// WorkloadCache::Get this test reports races and can crash outright.
+#include "bench_support/workload.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sky::test {
+namespace {
+
+TEST(WorkloadCacheTest, SequentialGetReturnsStableReference) {
+  WorkloadCache& cache = WorkloadCache::Instance();
+  cache.Clear();
+  const WorkloadSpec spec{Distribution::kIndependent, 500, 4, 123};
+  const Dataset& first = cache.Get(spec);
+  EXPECT_EQ(first.count(), 500u);
+  EXPECT_EQ(first.dims(), 4);
+  // Same spec twice: same cached object, not a regeneration.
+  EXPECT_EQ(&cache.Get(spec), &first);
+  // Different seed: different entry.
+  const WorkloadSpec other{Distribution::kIndependent, 500, 4, 124};
+  EXPECT_NE(&cache.Get(other), &first);
+  cache.Clear();
+}
+
+TEST(WorkloadCacheTest, ConcurrentGetIsRaceFreeAndConsistent) {
+  WorkloadCache& cache = WorkloadCache::Instance();
+  cache.Clear();
+
+  // 8 threads × 12 lookups over 6 distinct specs: every spec is requested
+  // by several threads at once (first-touch generation races) and
+  // repeatedly (map-mutation vs. lookup races).
+  const Distribution dists[] = {Distribution::kCorrelated,
+                                Distribution::kIndependent,
+                                Distribution::kAnticorrelated};
+  std::vector<WorkloadSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back(WorkloadSpec{dists[i % 3],
+                                 static_cast<size_t>(200 + 50 * (i / 3)), 3,
+                                 static_cast<uint64_t>(i)});
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<const Dataset*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 12; ++i) {
+        const WorkloadSpec& spec = specs[(t + i) % specs.size()];
+        const Dataset& data = cache.Get(spec);
+        ASSERT_EQ(data.count(), spec.count);
+        ASSERT_EQ(data.dims(), spec.dims);
+        seen[t].push_back(&data);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every thread must have observed the same object per spec: exactly one
+  // generation happened, and references stayed stable across insertions.
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const Dataset* canonical = nullptr;
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < 12; ++i) {
+        if ((static_cast<size_t>(t) + static_cast<size_t>(i)) %
+                specs.size() !=
+            s) {
+          continue;
+        }
+        if (canonical == nullptr) canonical = seen[t][i];
+        EXPECT_EQ(seen[t][i], canonical) << "spec " << s << " thread " << t;
+      }
+    }
+    EXPECT_NE(canonical, nullptr);
+  }
+  cache.Clear();
+}
+
+}  // namespace
+}  // namespace sky::test

@@ -8,9 +8,18 @@
 //   skybench --algo=hybrid --dist=anti --n=1000000 --d=12 --threads=16
 //   skybench --algo=qflow --input=points.csv --alpha=8192 --stats
 //   skybench --algo=all --dist=indep --n=100000 --d=8 --verify
+//
+// Query-engine flags (any of them routes the run through SkylineEngine):
+//   skybench --dist=house --n=50000 --minmax=min,max,min,min,max,min
+//   skybench --input=points.csv --project=0,2,5 --constrain=0:0.1:0.9
+//   skybench --algo=qflow --dist=anti --kband=3 --topk=10
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,6 +28,7 @@
 #include "data/generator.h"
 #include "data/realistic.h"
 #include "dominance/dominance.h"
+#include "query/engine.h"
 
 namespace sky {
 namespace {
@@ -37,6 +47,17 @@ struct CliArgs {
   bool no_simd = false;
   bool stats = false;
   bool verify = false;
+  // Query-engine surface; any non-default value routes through the engine.
+  std::string minmax;     // per-dim preference list, e.g. "min,max,ignore"
+  std::string project;    // keep-list of dimension indices, e.g. "0,2,5"
+  std::string constrain;  // box constraints, e.g. "1:0.2:0.8,3:*:0.5"
+  uint32_t kband = 1;     // band depth (1 = skyline)
+  size_t topk = 0;        // ranked result cap (0 = all)
+
+  bool UsesQueryEngine() const {
+    return !minmax.empty() || !project.empty() || !constrain.empty() ||
+           kband != 1 || topk != 0;
+  }
 };
 
 [[noreturn]] void Version() {
@@ -64,9 +85,32 @@ struct CliArgs {
       "  --no-simd        scalar dominance kernels\n"
       "  --stats          print the phase breakdown\n"
       "  --verify         cross-check against the BNL oracle\n"
+      "query engine (any of these routes the run through SkylineEngine):\n"
+      "  --minmax=LIST    per-dim preference: min|max|ignore (or -,+,_)\n"
+      "  --project=LIST   keep only these dimension indices, e.g. 0,2,5\n"
+      "  --constrain=SPEC box constraints DIM:LO:HI[,...]; * = unbounded\n"
+      "  --kband=K        k-skyband: points with < K dominators (default 1)\n"
+      "  --topk=K         cap ranked results at K points (default all)\n"
       "  --version        print build identity and exit\n"
       "  --help           print this message and exit\n");
   std::exit(exit_code);
+}
+
+/// Strict non-negative integer parse for the query flags (a negative or
+/// over-range --kband would otherwise wrap through the unsigned cast).
+unsigned long long ParseCount(const char* text, const char* flag,
+                              unsigned long long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' || v < 0 ||
+      static_cast<unsigned long long>(v) > max_value) {
+    std::fprintf(stderr,
+                 "error: %s wants an integer in [0, %llu], got '%s'\n", flag,
+                 max_value, text);
+    std::exit(2);
+  }
+  return static_cast<unsigned long long>(v);
 }
 
 bool Flag(const char* arg, const char* name, const char** value) {
@@ -91,12 +135,22 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--dist", &v) && v) a.dist = v;
     else if (Flag(argv[i], "--input", &v) && v) a.input = v;
     else if (Flag(argv[i], "--output", &v) && v) a.output = v;
-    else if (Flag(argv[i], "--n", &v) && v) a.n = static_cast<size_t>(std::atoll(v));
+    else if (Flag(argv[i], "--n", &v) && v)
+      a.n = static_cast<size_t>(std::atoll(v));
     else if (Flag(argv[i], "--d", &v) && v) a.d = std::atoi(v);
     else if (Flag(argv[i], "--threads", &v) && v) a.threads = std::atoi(v);
-    else if (Flag(argv[i], "--alpha", &v) && v) a.alpha = static_cast<size_t>(std::atoll(v));
+    else if (Flag(argv[i], "--alpha", &v) && v)
+      a.alpha = static_cast<size_t>(std::atoll(v));
     else if (Flag(argv[i], "--pivot", &v) && v) a.pivot = v;
-    else if (Flag(argv[i], "--seed", &v) && v) a.seed = static_cast<uint64_t>(std::atoll(v));
+    else if (Flag(argv[i], "--seed", &v) && v)
+      a.seed = static_cast<uint64_t>(std::atoll(v));
+    else if (Flag(argv[i], "--minmax", &v) && v) a.minmax = v;
+    else if (Flag(argv[i], "--project", &v) && v) a.project = v;
+    else if (Flag(argv[i], "--constrain", &v) && v) a.constrain = v;
+    else if (Flag(argv[i], "--kband", &v) && v)
+      a.kband = static_cast<uint32_t>(ParseCount(v, "--kband", UINT32_MAX));
+    else if (Flag(argv[i], "--topk", &v) && v)
+      a.topk = static_cast<size_t>(ParseCount(v, "--topk", SIZE_MAX));
     else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
     else if (Flag(argv[i], "--stats", &v)) a.stats = true;
     else if (Flag(argv[i], "--verify", &v)) a.verify = true;
@@ -122,7 +176,7 @@ Dataset LoadData(const CliArgs& a) {
   return GenerateSynthetic(ParseDistribution(a.dist), a.n, a.d, a.seed);
 }
 
-void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
+Options BuildOptions(const CliArgs& a, Algorithm algo) {
   Options o;
   o.algorithm = algo;
   o.threads = a.threads;
@@ -131,7 +185,23 @@ void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
   o.use_simd = !a.no_simd;
   o.count_dts = true;
   o.seed = a.seed;
-  const Result r = ComputeSkyline(data, o);
+  return o;
+}
+
+/// Write the selected rows (original dimensions) of `data` as CSV.
+void WriteRows(const Dataset& data, const std::vector<PointId>& ids,
+               const std::string& path, const char* what) {
+  Dataset out(data.dims(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(out.MutableRow(i), data.Row(ids[i]),
+                sizeof(Value) * static_cast<size_t>(data.dims()));
+  }
+  out.SaveCsv(path);
+  std::printf("  wrote %zu %s rows to %s\n", out.count(), what, path.c_str());
+}
+
+void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
+  const Result r = ComputeSkyline(data, BuildOptions(a, algo));
   std::printf("%-10s time=%.4fs |sky|=%zu dts=%llu\n", AlgorithmName(algo),
               r.stats.total_seconds, r.skyline.size(),
               static_cast<unsigned long long>(r.stats.dominance_tests));
@@ -144,16 +214,48 @@ void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
       std::exit(1);
     }
   }
-  if (!a.output.empty()) {
-    Dataset out(data.dims(), r.skyline.size());
-    for (size_t i = 0; i < r.skyline.size(); ++i) {
-      std::memcpy(out.MutableRow(i), data.Row(r.skyline[i]),
-                  sizeof(Value) * static_cast<size_t>(data.dims()));
+  if (!a.output.empty()) WriteRows(data, r.skyline, a.output, "skyline");
+}
+
+QuerySpec BuildSpec(const CliArgs& a, int dims) {
+  QuerySpec spec;
+  if (!a.minmax.empty()) {
+    spec.preferences = ParsePreferenceList(a.minmax);
+    if (spec.preferences.size() != static_cast<size_t>(dims)) {
+      throw std::runtime_error("--minmax lists " +
+                               std::to_string(spec.preferences.size()) +
+                               " preferences for a d=" + std::to_string(dims) +
+                               " dataset");
     }
-    out.SaveCsv(a.output);
-    std::printf("  wrote %zu skyline rows to %s\n", out.count(),
-                a.output.c_str());
   }
+  if (!a.project.empty()) spec.Project(ParseIndexList(a.project), dims);
+  if (!a.constrain.empty()) spec.constraints = ParseConstraintList(a.constrain);
+  spec.band_k = a.kband;
+  spec.top_k = a.topk;
+  return spec;
+}
+
+void RunQueryOne(SkylineEngine& engine, const Dataset& data, Algorithm algo,
+                 const CliArgs& a) {
+  const QuerySpec spec = BuildSpec(a, data.dims());
+  const QueryResult r = engine.Execute("cli", spec, BuildOptions(a, algo));
+  // The k-skyband path is algorithm-independent (ComputeSkyband ignores
+  // the algorithm selection), so labelling it with an algorithm name
+  // would misattribute the timing.
+  std::printf("%-10s time=%.4fs |result|=%zu matched=%zu%s\n",
+              a.kband > 1 ? "skyband" : AlgorithmName(algo),
+              r.stats.total_seconds, r.ids.size(), r.matched_rows,
+              r.cache_hit ? " [cached]" : "");
+  if (a.stats) std::printf("  %s\n", r.stats.ToString().c_str());
+  if (a.verify) {
+    if (VerifyQuery(data, spec, r)) {
+      std::printf("  verification: OK\n");
+    } else {
+      std::printf("  verification: FAILED\n");
+      std::exit(1);
+    }
+  }
+  if (!a.output.empty()) WriteRows(data, r.ids, a.output, "result");
 }
 
 }  // namespace
@@ -180,9 +282,30 @@ int main(int argc, char** argv) try {
   } else {
     algos.push_back(sky::ParseAlgorithm(args.algo));
   }
-  const sky::Dataset data = sky::LoadData(args);
+  sky::Dataset data = sky::LoadData(args);
   std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
-  for (const sky::Algorithm algo : algos) sky::RunOne(data, algo, args);
+  if (args.UsesQueryEngine()) {
+    // Route through the serving layer: register once (padded rows built at
+    // load), then execute against the registered dataset.
+    sky::SkylineEngine engine;
+    engine.RegisterDataset("cli", std::move(data));
+    const std::shared_ptr<const sky::Dataset> ds = engine.Find("cli");
+    if (args.kband > 1 && algos.size() > 1) {
+      // The skyband path ignores the algorithm selection: an --algo=all
+      // sweep would run the identical computation once per name.
+      std::printf(
+          "note: --kband is algorithm-independent; running once\n");
+      algos.resize(1);
+    }
+    for (const sky::Algorithm algo : algos) {
+      sky::RunQueryOne(engine, *ds, algo, args);
+      // In --algo=all sweeps each algorithm should compute, not replay the
+      // previous algorithm's cached answer.
+      if (algos.size() > 1) engine.ClearCache();
+    }
+  } else {
+    for (const sky::Algorithm algo : algos) sky::RunOne(data, algo, args);
+  }
   return 0;
 } catch (const std::exception& e) {
   // Unknown algorithm/distribution names and unreadable inputs surface
