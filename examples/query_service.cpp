@@ -4,7 +4,7 @@
 // many threads at once — the shape of a real skyline backend, as opposed
 // to the one-shot ComputeSkyline call of the quickstart.
 //
-//   $ ./query_service [n_points] [n_threads] [rounds]
+//   $ ./query_service [n_points] [n_threads] [rounds] [shards]
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -61,13 +61,25 @@ int main(int argc, char** argv) {
   const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 50'000;
   const int threads = argc > 2 ? std::atoi(argv[2]) : 8;
   const int rounds = argc > 3 ? std::atoi(argv[3]) : 4;
+  const size_t shards = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 4;
 
-  sky::SkylineEngine engine(sky::SkylineEngine::Config{/*capacity=*/64});
+  // Datasets are sharded at registration: constrained queries plan
+  // against per-shard bounding boxes and skip shards outside the box,
+  // everything else fans out and merges with M(S). Median-pivot
+  // assignment keeps hotel shards spatially tight (prunable); the flights
+  // registration exercises the round-robin policy.
+  sky::SkylineEngine::Config config;
+  config.result_cache_capacity = 64;
+  config.shards = shards;
+  config.shard_policy = sky::ShardPolicy::kMedianPivot;
+  sky::SkylineEngine engine(config);
   engine.RegisterDataset("hotels", sky::GenerateHouseLike(n, /*seed=*/7));
   engine.RegisterDataset(
-      "flights", sky::GenerateSynthetic(sky::Distribution::kAnticorrelated, n,
-                                        6, /*seed=*/42));
-  std::printf("registered datasets:");
+      "flights",
+      sky::GenerateSynthetic(sky::Distribution::kAnticorrelated, n, 6,
+                             /*seed=*/42),
+      shards, sky::ShardPolicy::kRoundRobin);
+  std::printf("registered datasets (shards=%zu):", shards);
   for (const std::string& name : engine.DatasetNames()) {
     std::printf(" %s(n=%zu)", name.c_str(), engine.Find(name)->count());
   }
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
   const auto workload = BuildWorkload();
   std::atomic<size_t> served{0};
   std::atomic<size_t> returned_points{0};
+  std::atomic<size_t> shards_pruned{0};
 
   // Every pool worker is an independent "frontend thread" hammering the
   // shared engine with the mixed workload, offset so distinct queries are
@@ -92,6 +105,7 @@ int main(int argc, char** argv) {
         const sky::QueryResult r = engine.Execute(name, spec, opts);
         served.fetch_add(1, std::memory_order_relaxed);
         returned_points.fetch_add(r.ids.size(), std::memory_order_relaxed);
+        shards_pruned.fetch_add(r.shards_pruned, std::memory_order_relaxed);
       }
     }
   });
@@ -104,6 +118,8 @@ int main(int argc, char** argv) {
   std::printf("result cache    : %llu hits / %llu misses (%zu entries)\n",
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses), cache.entries);
+  std::printf("shards pruned   : %zu (constraint boxes missed the shard)\n",
+              shards_pruned.load());
 
   // A dataset refresh: re-registering bumps the version, so the very next
   // identical query recomputes against the new data instead of the cache.

@@ -32,6 +32,16 @@ Dataset Dataset::FromRowMajor(int dims, const std::vector<Value>& values) {
   return out;
 }
 
+Dataset Dataset::Clone() const {
+  if (dims_ == 0) return Dataset{};
+  Dataset out(dims_, count_);
+  if (count_ > 0) {
+    std::memcpy(out.rows_.data(), rows_.data(),
+                sizeof(Value) * count_ * static_cast<size_t>(stride_));
+  }
+  return out;
+}
+
 Dataset Dataset::LoadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
@@ -88,6 +98,14 @@ void Dataset::SaveBinary(const std::string& path) const {
   out.write(reinterpret_cast<const char*>(rows_.data()),
             static_cast<std::streamsize>(sizeof(Value) * count_ *
                                          static_cast<size_t>(stride_)));
+}
+
+bool Dataset::SniffBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), 8);
+  return in.good() && magic == kBinaryMagic;
 }
 
 Dataset Dataset::LoadBinary(const std::string& path) {

@@ -30,6 +30,11 @@ class Dataset {
   /// Build from densely packed row-major values (count*dims floats).
   static Dataset FromRowMajor(int dims, const std::vector<Value>& values);
 
+  /// Deep copy. Datasets are normally shared immutably (the engine hands
+  /// out shared_ptrs); cloning is explicit so accidental copies can't
+  /// happen silently.
+  Dataset Clone() const;
+
   /// Parse a CSV of numeric columns (no header detection: lines starting
   /// with '#' are skipped). Throws std::runtime_error on malformed input.
   static Dataset LoadCsv(const std::string& path);
@@ -40,6 +45,10 @@ class Dataset {
   /// Compact binary format: magic, dims, count, then raw padded rows.
   static Dataset LoadBinary(const std::string& path);
   void SaveBinary(const std::string& path) const;
+
+  /// True when `path` is readable and starts with the binary-snapshot
+  /// magic — format auto-detection without trusting file extensions.
+  static bool SniffBinary(const std::string& path);
 
   int dims() const { return dims_; }
   size_t count() const { return count_; }

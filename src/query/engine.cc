@@ -3,12 +3,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/timer.h"
 #include "core/skyband.h"
 #include "core/skyline.h"
+#include "parallel/thread_pool.h"
 #include "query/view.h"
 
 namespace sky {
@@ -21,77 +25,313 @@ Value RankScore(const Dataset& view, size_t row) {
   return std::isnan(s) ? std::numeric_limits<Value>::infinity() : s;
 }
 
-}  // namespace
-
-QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
-                     const Options& opts) {
-  const QuerySpec canon = spec.Canonicalize(data.dims());
-  QueryResult r;
-
-  // Fast path: the native question needs no view at all.
-  const bool identity = canon.IsIdentityTransform();
-  QueryView view;
-  const Dataset* target = &data;
-  if (!identity) {
-    view = MaterializeView(data, canon);
-    target = &view.data;
+/// Rank r's entries by (dominator count asc, view score asc, original id
+/// asc) and truncate to top_k. `scores` is parallel to r.ids.
+void RankAndTruncate(QueryResult& r, size_t top_k,
+                     const std::vector<Value>& scores) {
+  std::vector<size_t> order(r.ids.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (r.dominator_counts[a] != r.dominator_counts[b]) {
+      return r.dominator_counts[a] < r.dominator_counts[b];
+    }
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return r.ids[a] < r.ids[b];
+  });
+  const size_t keep = std::min(top_k, order.size());
+  std::vector<PointId> ids(keep);
+  std::vector<uint32_t> counts(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    ids[i] = r.ids[order[i]];
+    counts[i] = r.dominator_counts[order[i]];
   }
-  r.matched_rows = target->count();
-  if (target->count() == 0) return r;
+  r.ids = std::move(ids);
+  r.dominator_counts = std::move(counts);
+}
 
-  std::vector<PointId> view_rows;  // result ids in view-local row space
+/// Execute stage on one already-rewritten target: compute the skyline /
+/// k-skyband, map target-local rows to final ids through `row_map`
+/// (nullptr = identity), and apply the top-k cap.
+QueryResult RunOnTarget(const Dataset& target,
+                        const std::vector<PointId>* row_map,
+                        const QuerySpec& canon, const Options& opts) {
+  QueryResult r;
+  r.matched_rows = target.count();
+  if (target.count() == 0) return r;
+
+  Options run_opts = opts;
+  if (opts.progressive && row_map != nullptr) {
+    // Progressive ids must arrive in the caller's row space: remap each
+    // confirmed batch out of the view's row numbering before forwarding.
+    const ProgressiveCallback callback = opts.progressive;
+    run_opts.progressive = [callback, row_map](std::span<const PointId> ids) {
+      std::vector<PointId> mapped(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        mapped[i] = (*row_map)[ids[i]];
+      }
+      callback(mapped);
+    };
+  }
+
+  std::vector<PointId> view_rows;  // result ids in target-local row space
   if (canon.band_k == 1) {
-    Result run = ComputeSkyline(*target, opts);
+    Result run = ComputeSkyline(target, run_opts);
     r.stats = run.stats;
     view_rows = std::move(run.skyline);
     r.dominator_counts.assign(view_rows.size(), 0u);
   } else {
-    SkybandResult run = ComputeSkyband(*target, canon.band_k, opts);
+    SkybandResult run = ComputeSkyband(target, canon.band_k, run_opts);
     r.stats = run.stats;
     view_rows = std::move(run.skyband);
     r.dominator_counts = std::move(run.dominator_counts);
   }
 
-  // Map view-local rows back to original dataset row ids.
   r.ids.resize(view_rows.size());
-  if (identity) {
+  if (row_map == nullptr) {
     std::copy(view_rows.begin(), view_rows.end(), r.ids.begin());
   } else {
     for (size_t i = 0; i < view_rows.size(); ++i) {
-      r.ids[i] = view.row_ids[view_rows[i]];
+      r.ids[i] = (*row_map)[view_rows[i]];
     }
   }
 
   if (canon.top_k > 0) {
-    // Rank by (dominator count asc, view score asc, original id asc).
-    std::vector<size_t> order(view_rows.size());
-    std::iota(order.begin(), order.end(), size_t{0});
     std::vector<Value> scores(view_rows.size());
     for (size_t i = 0; i < view_rows.size(); ++i) {
-      scores[i] = RankScore(*target, view_rows[i]);
+      scores[i] = RankScore(target, view_rows[i]);
     }
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (r.dominator_counts[a] != r.dominator_counts[b]) {
-        return r.dominator_counts[a] < r.dominator_counts[b];
-      }
-      if (scores[a] != scores[b]) return scores[a] < scores[b];
-      return r.ids[a] < r.ids[b];
-    });
-    const size_t keep = std::min(canon.top_k, order.size());
-    std::vector<PointId> ids(keep);
-    std::vector<uint32_t> counts(keep);
-    for (size_t i = 0; i < keep; ++i) {
-      ids[i] = r.ids[order[i]];
-      counts[i] = r.dominator_counts[order[i]];
-    }
-    r.ids = std::move(ids);
-    r.dominator_counts = std::move(counts);
+    RankAndTruncate(r, canon.top_k, scores);
   }
-
-  r.stats.other_seconds += view.materialize_seconds;
-  r.stats.total_seconds += view.materialize_seconds;
   r.stats.skyline_size = r.ids.size();
   return r;
+}
+
+/// Fold per-phase times and counters of a partial run into `into`,
+/// leaving total_seconds / skyline_size to the caller (the executor
+/// reports true end-to-end wall time, not the sum of parallel shards).
+void AccumulateStats(RunStats& into, const RunStats& from) {
+  into.init_seconds += from.init_seconds;
+  into.prefilter_seconds += from.prefilter_seconds;
+  into.pivot_seconds += from.pivot_seconds;
+  into.phase1_seconds += from.phase1_seconds;
+  into.phase2_seconds += from.phase2_seconds;
+  into.compress_seconds += from.compress_seconds;
+  into.other_seconds += from.other_seconds;
+  into.dominance_tests += from.dominance_tests;
+  into.mask_filter_hits += from.mask_filter_hits;
+  into.prefiltered_points += from.prefiltered_points;
+}
+
+/// Per-shard execute-stage output, kept alive until the merge copies the
+/// candidate rows out of the shard view.
+struct ShardPartial {
+  std::shared_ptr<const QueryView> view;  // null when the spec is identity
+  std::vector<PointId> cand_rows;         // target-local candidate rows
+  RunStats stats;
+};
+
+/// Source of per-shard materialized views: the engine passes a lambda
+/// backed by its view cache so a band_k / top-k sweep over one box pays
+/// each shard's materialization once; the one-shot RunShardedQuery path
+/// leaves it empty and the executor materializes locally.
+using ShardViewProvider =
+    std::function<std::shared_ptr<const QueryView>(uint32_t shard_index)>;
+
+std::shared_ptr<const QueryView> ViewOfShard(
+    const ShardMap& map, uint32_t shard_index, const QuerySpec& canon,
+    const ShardViewProvider& provider) {
+  if (provider) return provider(shard_index);
+  return std::make_shared<const QueryView>(
+      MaterializeView(map.shard(shard_index).data, canon));
+}
+
+/// Merge + finish: the interpreter for a planner-produced ExecutionPlan.
+///
+/// Correctness of the M(S) union-then-filter merge: every global skyline
+/// point is non-dominated within its shard, so the union of partial
+/// skylines contains SKY(data); and any non-member is dominated by a
+/// minimal dominator that itself is a skyline point, hence in the union —
+/// so SKY(union) == SKY(data). The depth-aware variant holds too: order a
+/// point's dominator set D(p) by |D(.)| ascending; the i-th element has
+/// at most i-1 dominators (its dominators are strictly earlier in the
+/// order), so the first min(|D(p)|, k) of them are global k-skyband
+/// members, each a per-shard band member of its own shard. Members
+/// therefore keep their exact global count inside the union, and every
+/// non-member still meets >= k dominators there.
+QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
+                               const QuerySpec& canon, const Options& opts,
+                               const ShardViewProvider& provider = {}) {
+  WallTimer timer;
+  QueryResult r;
+  r.shards_executed = static_cast<uint32_t>(plan.shards.size());
+  r.shards_pruned = plan.pruned;
+  if (plan.shards.empty()) {
+    r.stats.total_seconds = timer.Seconds();
+    return r;
+  }
+  const bool identity = canon.IsIdentityTransform();
+
+  // Single surviving shard: pruned shards hold no constraint-box row, so
+  // the shard answer is the global answer — no merge stage at all.
+  if (plan.merge == MergeStrategy::kNone) {
+    const Shard& shard = map.shard(plan.shards[0]);
+    QueryResult one;
+    if (identity) {
+      one = RunOnTarget(shard.data, &shard.row_ids, canon, opts);
+    } else {
+      const std::shared_ptr<const QueryView> view =
+          ViewOfShard(map, plan.shards[0], canon, provider);
+      std::vector<PointId> composed(view->row_ids.size());
+      for (size_t i = 0; i < view->row_ids.size(); ++i) {
+        composed[i] = shard.row_ids[view->row_ids[i]];
+      }
+      one = RunOnTarget(view->data, &composed, canon, opts);
+      if (!provider) one.stats.other_seconds += view->materialize_seconds;
+    }
+    one.shards_executed = r.shards_executed;
+    one.shards_pruned = r.shards_pruned;
+    one.stats.total_seconds = timer.Seconds();
+    return one;
+  }
+
+  // Execute stage: parallelism across shards (each shard sequential).
+  // Per-shard progressive callbacks are suppressed — a shard-local
+  // skyline point is not a confirmed global member; the merge stage
+  // streams the confirmed answer instead.
+  Options shard_opts = opts;
+  shard_opts.threads = 1;
+  shard_opts.progressive = nullptr;
+  const size_t n_shards = plan.shards.size();
+  const int workers = static_cast<int>(
+      std::min(n_shards, static_cast<size_t>(opts.ResolvedThreads())));
+  std::vector<ShardPartial> parts(n_shards);
+  ThreadPool pool(workers);
+  pool.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const Shard& shard = map.shard(plan.shards[s]);
+      ShardPartial& p = parts[s];
+      if (!identity) p.view = ViewOfShard(map, plan.shards[s], canon, provider);
+      const Dataset& target = identity ? shard.data : p.view->data;
+      if (target.count() == 0) continue;
+      if (canon.band_k == 1) {
+        Result run = ComputeSkyline(target, shard_opts);
+        p.stats = run.stats;
+        p.cand_rows = std::move(run.skyline);
+      } else {
+        SkybandResult run = ComputeSkyband(target, canon.band_k, shard_opts);
+        p.stats = run.stats;
+        p.cand_rows = std::move(run.skyband);
+      }
+    }
+  });
+
+  int view_dims = 0;
+  for (const Preference pref : canon.preferences) {
+    if (pref != Preference::kIgnore) ++view_dims;
+  }
+  size_t total = 0;
+  for (size_t s = 0; s < n_shards; ++s) {
+    const Dataset& target =
+        identity ? map.shard(plan.shards[s]).data : parts[s].view->data;
+    r.matched_rows += target.count();
+    total += parts[s].cand_rows.size();
+    AccumulateStats(r.stats, parts[s].stats);
+    if (!identity && !provider) {
+      r.stats.other_seconds += parts[s].view->materialize_seconds;
+    }
+  }
+
+  // Merge stage: M(S) — copy every candidate's view-space row into one
+  // union set and dominance-filter it (depth-aware for k-skybands).
+  Dataset merged(view_dims, total);
+  std::vector<PointId> merged_ids(total);
+  const size_t row_bytes = sizeof(Value) * static_cast<size_t>(view_dims);
+  size_t w = 0;
+  for (size_t s = 0; s < n_shards; ++s) {
+    const Shard& shard = map.shard(plan.shards[s]);
+    const ShardPartial& p = parts[s];
+    const Dataset& target = identity ? shard.data : p.view->data;
+    for (const PointId row : p.cand_rows) {
+      std::memcpy(merged.MutableRow(w), target.Row(row), row_bytes);
+      merged_ids[w] =
+          identity ? shard.row_ids[row] : shard.row_ids[p.view->row_ids[row]];
+      ++w;
+    }
+  }
+
+  std::vector<PointId> members;
+  if (total > 0) {
+    Options merge_opts = opts;
+    // Progressive reporting streams from the merge stage: every member
+    // the merge confirms is a global member (the union contains the whole
+    // answer), remapped to caller row space. Per-shard runs stay silent —
+    // their partial results are not confirmed until merged.
+    merge_opts.progressive = nullptr;
+    if (opts.progressive) {
+      const ProgressiveCallback callback = opts.progressive;
+      const std::vector<PointId>& union_ids = merged_ids;
+      merge_opts.progressive = [callback,
+                                &union_ids](std::span<const PointId> rows) {
+        std::vector<PointId> mapped(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          mapped[i] = union_ids[rows[i]];
+        }
+        callback(mapped);
+      };
+    }
+    if (canon.band_k == 1) {
+      Result run = ComputeSkyline(merged, merge_opts);
+      AccumulateStats(r.stats, run.stats);
+      members = std::move(run.skyline);
+      r.dominator_counts.assign(members.size(), 0u);
+    } else {
+      SkybandResult run = ComputeSkyband(merged, canon.band_k, merge_opts);
+      AccumulateStats(r.stats, run.stats);
+      members = std::move(run.skyband);
+      r.dominator_counts = std::move(run.dominator_counts);
+    }
+  }
+  r.ids.resize(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    r.ids[i] = merged_ids[members[i]];
+  }
+  if (canon.top_k > 0) {
+    std::vector<Value> scores(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      scores[i] = RankScore(merged, members[i]);
+    }
+    RankAndTruncate(r, canon.top_k, scores);
+  }
+  r.stats.skyline_size = r.ids.size();
+  r.stats.total_seconds = timer.Seconds();
+  return r;
+}
+
+}  // namespace
+
+QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
+                     const Options& opts) {
+  const QuerySpec canon = spec.Canonicalize(data.dims());
+  // Fast path: the native question needs no view at all.
+  if (canon.IsIdentityTransform()) {
+    return RunOnTarget(data, nullptr, canon, opts);
+  }
+  const QueryView view = MaterializeView(data, canon);
+  QueryResult r = RunOnTarget(view.data, &view.row_ids, canon, opts);
+  r.stats.other_seconds += view.materialize_seconds;
+  r.stats.total_seconds += view.materialize_seconds;
+  return r;
+}
+
+QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
+                            const Options& opts) {
+  const QuerySpec canon = spec.Canonicalize(map.dims());
+  return ExecuteShardedPlan(map, PlanQuery(map, canon), canon, opts);
+}
+
+size_t QueryResultBytes(const QueryResult& r) {
+  return sizeof(QueryResult) + r.ids.size() * sizeof(PointId) +
+         r.dominator_counts.size() * sizeof(uint32_t);
 }
 
 bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
@@ -163,7 +403,10 @@ bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
 SkylineEngine::SkylineEngine() : SkylineEngine(Config{}) {}
 
 SkylineEngine::SkylineEngine(Config config)
-    : cache_(config.result_cache_capacity) {}
+    : config_(config),
+      cache_(config.result_cache_capacity, config.result_cache_bytes,
+             &QueryResultBytes),
+      view_cache_(config.view_cache_capacity) {}
 
 namespace {
 
@@ -177,7 +420,20 @@ std::string CacheKeyPrefix(const std::string& name, uint64_t version) {
 
 uint64_t SkylineEngine::RegisterDataset(const std::string& name,
                                         Dataset data) {
+  return RegisterDataset(name, std::move(data), config_.shards,
+                         config_.shard_policy);
+}
+
+uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
+                                        size_t shards, ShardPolicy policy) {
   auto holder = std::make_shared<const Dataset>(std::move(data));
+  // Plan stage input: the shard decomposition (with bounding boxes) is
+  // built once per registration, never per query.
+  std::shared_ptr<const ShardMap> map;
+  if (shards > 1 && holder->count() > 1) {
+    map = std::make_shared<const ShardMap>(
+        ShardMap::Build(*holder, shards, policy));
+  }
   uint64_t replaced_version = 0;
   uint64_t version = 0;
   {
@@ -185,12 +441,14 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name,
     auto it = registry_.find(name);
     if (it != registry_.end()) replaced_version = it->second.version;
     version = next_version_++;
-    registry_[name] = Registered{std::move(holder), version};
+    registry_[name] = Registered{std::move(holder), std::move(map), version};
   }
   // The old generation can never be served again (versions are never
   // reused); free its results instead of letting them squat in the LRU.
   if (replaced_version != 0) {
-    cache_.ErasePrefix(CacheKeyPrefix(name, replaced_version));
+    const std::string prefix = CacheKeyPrefix(name, replaced_version);
+    cache_.ErasePrefix(prefix);
+    view_cache_.ErasePrefix(prefix);
   }
   return version;
 }
@@ -204,7 +462,9 @@ bool SkylineEngine::EvictDataset(const std::string& name) {
     version = it->second.version;
     registry_.erase(it);
   }
-  cache_.ErasePrefix(CacheKeyPrefix(name, version));
+  const std::string prefix = CacheKeyPrefix(name, version);
+  cache_.ErasePrefix(prefix);
+  view_cache_.ErasePrefix(prefix);
   return true;
 }
 
@@ -213,6 +473,34 @@ std::shared_ptr<const Dataset> SkylineEngine::Find(
   std::shared_lock lock(registry_mu_);
   auto it = registry_.find(name);
   return it == registry_.end() ? nullptr : it->second.data;
+}
+
+std::shared_ptr<const ShardMap> SkylineEngine::FindShards(
+    const std::string& name) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.shards;
+}
+
+void SkylineEngine::PutResultIfCurrent(
+    const std::string& name, uint64_t version, const std::string& key,
+    std::shared_ptr<const QueryResult> value) {
+  // Lock order: registry (shared) -> cache mutex; no path takes them in
+  // the other order, and RegisterDataset's purge runs after it released
+  // the registry lock, so it must observe this insert.
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end() || it->second.version != version) return;
+  cache_.Put(key, std::move(value));
+}
+
+void SkylineEngine::PutViewIfCurrent(const std::string& name,
+                                     uint64_t version, const std::string& key,
+                                     std::shared_ptr<const QueryView> value) {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end() || it->second.version != version) return;
+  view_cache_.Put(key, std::move(value));
 }
 
 std::vector<std::string> SkylineEngine::DatasetNames() const {
@@ -227,6 +515,7 @@ QueryResult SkylineEngine::Execute(const std::string& name,
                                    const QuerySpec& spec,
                                    const Options& opts) {
   std::shared_ptr<const Dataset> data;
+  std::shared_ptr<const ShardMap> shards;
   uint64_t version = 0;
   {
     std::shared_lock lock(registry_mu_);
@@ -235,19 +524,63 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       throw std::runtime_error("query engine: unknown dataset '" + name + "'");
     }
     data = it->second.data;
+    shards = it->second.shards;
     version = it->second.version;
   }
 
   // Canonicalize before keying so equivalent spellings share an entry.
+  // Sharding is invisible to the key: results are row-for-row identical
+  // for every K, so one entry serves all decompositions.
   const QuerySpec canon = spec.Canonicalize(data->dims());
-  const std::string key = CacheKeyPrefix(name, version) + canon.CanonicalKey();
+  const std::string prefix = CacheKeyPrefix(name, version);
+  const std::string key = prefix + canon.CanonicalKey();
   if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
     QueryResult out = *hit;
     out.cache_hit = true;
     return out;
   }
-  QueryResult fresh = RunQuery(*data, canon, opts);
-  cache_.Put(key, std::make_shared<const QueryResult>(fresh));
+
+  QueryResult fresh;
+  if (shards != nullptr && shards->shard_count() > 1) {
+    // Per-shard views are served from the view cache too, keyed by the
+    // shard index on top of the ViewKey, so a band_k / top-k sweep pays
+    // each shard's materialization once.
+    const ShardViewProvider provider = [&](uint32_t shard_index) {
+      const std::string view_key = prefix + "v|s" +
+                                   std::to_string(shard_index) + "|" +
+                                   canon.ViewKey();
+      std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
+      if (view == nullptr) {
+        view = std::make_shared<const QueryView>(
+            MaterializeView(shards->shard(shard_index).data, canon));
+        PutViewIfCurrent(name, version, view_key, view);
+      }
+      return view;
+    };
+    fresh = ExecuteShardedPlan(*shards, PlanQuery(*shards, canon), canon,
+                               opts, provider);
+  } else if (canon.IsIdentityTransform()) {
+    fresh = RunOnTarget(*data, nullptr, canon, opts);
+  } else {
+    // View reuse: specs sharing preferences/projection/constraints (same
+    // ViewKey) share one materialized view, so e.g. a band_k / top-k
+    // sweep over one box pays materialization once.
+    const std::string view_key = prefix + "v|" + canon.ViewKey();
+    std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
+    double build_seconds = 0.0;
+    if (view == nullptr) {
+      auto built =
+          std::make_shared<const QueryView>(MaterializeView(*data, canon));
+      build_seconds = built->materialize_seconds;
+      PutViewIfCurrent(name, version, view_key, built);
+      view = std::move(built);
+    }
+    fresh = RunOnTarget(view->data, &view->row_ids, canon, opts);
+    fresh.stats.other_seconds += build_seconds;
+    fresh.stats.total_seconds += build_seconds;
+  }
+  PutResultIfCurrent(name, version, key,
+                     std::make_shared<const QueryResult>(fresh));
   return fresh;
 }
 

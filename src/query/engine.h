@@ -1,10 +1,20 @@
 // Copyright (c) SkyBench-NG contributors.
 // SkylineEngine: the long-lived serving layer on top of the algorithm
-// suite. Holds a registry of named datasets (padded rows built once at
-// registration), rewrites each QuerySpec into a materialized view, runs
-// any of the implemented algorithms against it, maps ids back, and caches
-// finished results in an LRU keyed by the canonical spec. All public
-// methods are safe to call concurrently from many threads.
+// suite. Holds a registry of named datasets (optionally sharded at
+// registration), and answers each QuerySpec through a three-stage
+// plan -> execute -> merge pipeline:
+//
+//   plan     the planner prunes shards whose bounding boxes miss the
+//            constraint box and picks the merge strategy,
+//   execute  surviving shards run per-shard skylines / k-skybands on a
+//            fork-join pool (single-shard datasets take the original
+//            unsharded fast path),
+//   merge    partial results are combined with the paper's M(S)
+//            union-then-filter operator (depth-aware for k-skybands).
+//
+// Finished results land in a byte- and entry-capped LRU; materialized
+// views are reused across specs that differ only in band_k / top_k. All
+// public methods are safe to call concurrently from many threads.
 #ifndef SKY_QUERY_ENGINE_H_
 #define SKY_QUERY_ENGINE_H_
 
@@ -16,8 +26,11 @@
 #include <vector>
 
 #include "core/options.h"
+#include "query/planner.h"
 #include "query/query_spec.h"
 #include "query/result_cache.h"
+#include "query/shard_map.h"
+#include "query/view.h"
 
 namespace sky {
 
@@ -28,16 +41,30 @@ struct QueryResult {
   std::vector<uint32_t> dominator_counts;  ///< parallel to `ids`
   size_t matched_rows = 0;  ///< rows inside the constraint box
   bool cache_hit = false;   ///< true when served from the result cache
+  uint32_t shards_executed = 1;  ///< shards the plan actually ran
+  uint32_t shards_pruned = 0;    ///< shards skipped by box intersection
   RunStats stats;           ///< stats of the run that produced the entry
 };
+
+/// Payload bytes of a result for the cache's byte budget.
+size_t QueryResultBytes(const QueryResult& r);
 
 /// One-shot, uncached execution of `spec` against `data` with the
 /// algorithm/threads/alpha selection in `opts` (band_k > 1 routes to
 /// ComputeSkyband, which ignores the algorithm field). This is the whole
-/// rewrite pipeline: canonicalize, materialize the view, compute, map ids
-/// back, apply the top-k cap. Throws std::runtime_error on invalid specs.
+/// unsharded pipeline: canonicalize, materialize the view, compute, map
+/// ids back, apply the top-k cap. Throws std::runtime_error on invalid
+/// specs.
 QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
                      const Options& opts = Options{});
+
+/// One-shot, uncached sharded execution: plan against `map`, run the
+/// surviving shards (parallelism across shards; each shard computes
+/// single-threaded), merge with M(S). Row-for-row identical to RunQuery
+/// on the unsharded dataset. Exposed for tests and benchmarks; serving
+/// traffic goes through SkylineEngine::Execute.
+QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
+                            const Options& opts = Options{});
 
 /// Re-run `spec` through the BNL reference path and compare id sets (and
 /// dominator counts) against `r`. O(view^2); test and --verify use.
@@ -49,6 +76,17 @@ class SkylineEngine {
   struct Config {
     /// Max finished results kept in the LRU cache (0 disables caching).
     size_t result_cache_capacity = 128;
+    /// Byte budget over cached result payloads (QueryResultBytes); 0
+    /// disables the byte cap. Evicts LRU-first once exceeded.
+    size_t result_cache_bytes = 0;
+    /// Max materialized views kept for reuse across specs sharing a
+    /// ViewKey (0 disables view reuse). Views are dataset-sized; keep
+    /// this small.
+    size_t view_cache_capacity = 8;
+    /// Shards per registered dataset (1 = unsharded fast path).
+    size_t shards = 1;
+    /// Row-to-shard assignment policy used at registration.
+    ShardPolicy shard_policy = ShardPolicy::kRoundRobin;
   };
 
   SkylineEngine();  // default Config
@@ -57,10 +95,15 @@ class SkylineEngine {
   SkylineEngine(const SkylineEngine&) = delete;
   SkylineEngine& operator=(const SkylineEngine&) = delete;
 
-  /// Register (or replace) a dataset under `name`. Replacement bumps the
-  /// version, so cached results of the old generation can never be served
-  /// for the new data. Returns the registered version.
+  /// Register (or replace) a dataset under `name`, sharding it per the
+  /// engine Config. Replacement bumps the version, so cached results of
+  /// the old generation can never be served for the new data. Returns the
+  /// registered version.
   uint64_t RegisterDataset(const std::string& name, Dataset data);
+
+  /// Same, with an explicit shard count / policy overriding the Config.
+  uint64_t RegisterDataset(const std::string& name, Dataset data,
+                           size_t shards, ShardPolicy policy);
 
   /// Drop `name` from the registry and purge its result-cache entries.
   /// In-flight queries holding the dataset finish safely (shared
@@ -70,32 +113,61 @@ class SkylineEngine {
   /// Look up a registered dataset (nullptr if absent).
   std::shared_ptr<const Dataset> Find(const std::string& name) const;
 
+  /// Shard decomposition of a registered dataset (nullptr if absent or
+  /// registered unsharded).
+  std::shared_ptr<const ShardMap> FindShards(const std::string& name) const;
+
   /// Registered names, sorted.
   std::vector<std::string> DatasetNames() const;
 
   /// Execute `spec` against the dataset registered under `name`,
   /// consulting the result cache first. Safe for concurrent callers; two
   /// racing misses on the same key may both compute (last insert wins —
-  /// both results are correct). Throws std::runtime_error for unknown
-  /// names or invalid specs.
+  /// both results are correct). On multi-shard plans a progressive
+  /// callback fires during the merge stage (once partial results are
+  /// confirmed global), not per shard; single-shard plans stream as the
+  /// unsharded path does. Throws std::runtime_error for unknown names or
+  /// invalid specs.
   QueryResult Execute(const std::string& name, const QuerySpec& spec,
                       const Options& opts = Options{});
 
-  void ClearCache() { cache_.Clear(); }
+  void ClearCache() {
+    cache_.Clear();
+    view_cache_.Clear();
+  }
   LruCache<QueryResult>::Counters cache_counters() const {
     return cache_.counters();
+  }
+  LruCache<QueryView>::Counters view_cache_counters() const {
+    return view_cache_.counters();
   }
 
  private:
   struct Registered {
     std::shared_ptr<const Dataset> data;
+    std::shared_ptr<const ShardMap> shards;  // nullptr when unsharded
     uint64_t version = 0;
   };
 
+  /// Cache inserts gated on `version` still being the registered
+  /// generation of `name`, checked under the registry lock so the insert
+  /// cannot interleave with a re-registration's purge: a replacement
+  /// blocks on the registry lock until the Put finishes, and its
+  /// ErasePrefix then removes the entry — a computation that outlived its
+  /// generation can never leave entries squatting under purged keys.
+  void PutResultIfCurrent(const std::string& name, uint64_t version,
+                          const std::string& key,
+                          std::shared_ptr<const QueryResult> value);
+  void PutViewIfCurrent(const std::string& name, uint64_t version,
+                        const std::string& key,
+                        std::shared_ptr<const QueryView> value);
+
+  const Config config_;
   mutable std::shared_mutex registry_mu_;
   std::map<std::string, Registered> registry_;  // guarded by registry_mu_
   uint64_t next_version_ = 1;                   // guarded by registry_mu_
   LruCache<QueryResult> cache_;
+  LruCache<QueryView> view_cache_;
 };
 
 }  // namespace sky

@@ -1,0 +1,50 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "query/planner.h"
+
+namespace sky {
+
+const char* MergeStrategyName(MergeStrategy strategy) {
+  switch (strategy) {
+    case MergeStrategy::kNone:
+      return "none";
+    case MergeStrategy::kSkylineUnion:
+      return "skyline-union";
+    case MergeStrategy::kSkybandUnion:
+      return "skyband-union";
+  }
+  return "?";
+}
+
+bool BoxIntersectsConstraints(const std::vector<Value>& lo,
+                              const std::vector<Value>& hi,
+                              const std::vector<DimConstraint>& constraints) {
+  for (const DimConstraint& c : constraints) {
+    const size_t d = static_cast<size_t>(c.dim);
+    // Closed-interval overlap; written so an empty box (lo > hi) or an
+    // all-NaN column fails rather than passes.
+    if (!(hi[d] >= c.lo && lo[d] <= c.hi)) return false;
+  }
+  return true;
+}
+
+ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon) {
+  ExecutionPlan plan;
+  for (size_t s = 0; s < map.shard_count(); ++s) {
+    const Shard& shard = map.shard(s);
+    if (BoxIntersectsConstraints(shard.box_lo, shard.box_hi,
+                                 canon.constraints)) {
+      plan.shards.push_back(static_cast<uint32_t>(s));
+    } else {
+      ++plan.pruned;
+    }
+  }
+  if (plan.shards.size() <= 1) {
+    plan.merge = MergeStrategy::kNone;
+  } else {
+    plan.merge = canon.band_k == 1 ? MergeStrategy::kSkylineUnion
+                                   : MergeStrategy::kSkybandUnion;
+  }
+  return plan;
+}
+
+}  // namespace sky

@@ -1,0 +1,52 @@
+// Copyright (c) SkyBench-NG contributors.
+// Query planner: turns a canonicalized QuerySpec plus a ShardMap into an
+// ExecutionPlan — which shards must run (the rest are pruned because
+// their bounding boxes miss the constraint box), and how the per-shard
+// partial results are merged back into one answer. The executor
+// (query/engine.h) is a dumb interpreter of the plan; all pruning
+// decisions live here so tests can inspect them without running anything.
+#ifndef SKY_QUERY_PLANNER_H_
+#define SKY_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_spec.h"
+#include "query/shard_map.h"
+
+namespace sky {
+
+/// How per-shard partial results combine into the final answer.
+enum class MergeStrategy : uint8_t {
+  kNone,          ///< 0 or 1 executed shards: the partial result is final
+  kSkylineUnion,  ///< M(S): union the partial skylines, dominance-filter
+  kSkybandUnion,  ///< depth-aware M(S): union the partial k-skybands and
+                  ///< recount dominators inside the union (exact for every
+                  ///< true member; see the proof in engine.cc)
+};
+
+const char* MergeStrategyName(MergeStrategy strategy);
+
+struct ExecutionPlan {
+  /// Indices of the shards to execute, ascending. Shards absent from this
+  /// list are pruned: their bounding box does not intersect the spec's
+  /// constraint box, so no row of theirs can satisfy the constraints.
+  std::vector<uint32_t> shards;
+  uint32_t pruned = 0;  ///< number of shards skipped by box intersection
+  MergeStrategy merge = MergeStrategy::kNone;
+};
+
+/// True iff the axis-aligned box [lo, hi] intersects every constraint
+/// interval (closed on both sides). An empty per-dim box (lo > hi, e.g.
+/// all-NaN column) intersects nothing.
+bool BoxIntersectsConstraints(const std::vector<Value>& lo,
+                              const std::vector<Value>& hi,
+                              const std::vector<DimConstraint>& constraints);
+
+/// Build the plan for `canon` (must already be canonicalized for the
+/// map's dimensionality) over `map`.
+ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon);
+
+}  // namespace sky
+
+#endif  // SKY_QUERY_PLANNER_H_

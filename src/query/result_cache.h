@@ -2,7 +2,10 @@
 // Thread-safe LRU cache of finished query results, keyed by the engine's
 // canonical (dataset @ version | spec) strings. Entries are shared_ptrs so
 // a hit never copies the (possibly large) id vectors under the lock and an
-// eviction never invalidates a result a reader still holds.
+// eviction never invalidates a result a reader still holds. Eviction is
+// entry-capped and, optionally, byte-capped: a SizeFn prices each value
+// and the cache evicts LRU-first until the byte budget holds again — a
+// value larger than the whole budget is simply not retained.
 #ifndef SKY_QUERY_RESULT_CACHE_H_
 #define SKY_QUERY_RESULT_CACHE_H_
 
@@ -19,7 +22,18 @@ namespace sky {
 template <typename V>
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+  /// Byte price of one cached value (payload estimate, not allocator
+  /// truth). nullptr prices everything at zero.
+  using SizeFn = size_t (*)(const V&);
+
+  explicit LruCache(size_t capacity) : LruCache(capacity, 0, nullptr) {}
+
+  /// `byte_capacity` == 0 disables the byte budget; `capacity` == 0
+  /// disables caching entirely.
+  LruCache(size_t capacity, size_t byte_capacity, SizeFn size_fn)
+      : capacity_(capacity),
+        byte_capacity_(byte_capacity),
+        size_fn_(size_fn) {}
 
   /// Fetch and promote to most-recently-used; nullptr on miss.
   std::shared_ptr<const V> Get(const std::string& key) {
@@ -31,24 +45,37 @@ class LruCache {
     }
     order_.splice(order_.begin(), order_, it->second);
     ++hits_;
-    return it->second->second;
+    return it->second->value;
   }
 
-  /// Insert (or refresh) a value, evicting the least-recently-used entry
-  /// past capacity. A capacity of 0 disables caching entirely.
+  /// Insert (or refresh) a value, evicting least-recently-used entries
+  /// past either cap. A capacity of 0 disables caching entirely.
   void Put(const std::string& key, std::shared_ptr<const V> value) {
     if (capacity_ == 0) return;
+    const size_t entry_bytes = (size_fn_ != nullptr && value != nullptr)
+                                   ? size_fn_(*value)
+                                   : 0;
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = entry_bytes;
+      bytes_ += entry_bytes;
       order_.splice(order_.begin(), order_, it->second);
-      return;
+    } else {
+      order_.push_front(Entry{key, std::move(value), entry_bytes});
+      index_[key] = order_.begin();
+      bytes_ += entry_bytes;
     }
-    order_.emplace_front(key, std::move(value));
-    index_[key] = order_.begin();
-    if (order_.size() > capacity_) {
-      index_.erase(order_.back().first);
+    // The fresh entry sits at the front, so it is only dropped when it
+    // alone exceeds the byte budget.
+    while (!order_.empty() &&
+           (order_.size() > capacity_ ||
+            (byte_capacity_ != 0 && bytes_ > byte_capacity_))) {
+      if (order_.size() <= capacity_) ++byte_evictions_;
+      bytes_ -= order_.back().bytes;
+      index_.erase(order_.back().key);
       order_.pop_back();
       ++evictions_;
     }
@@ -58,6 +85,7 @@ class LruCache {
     std::lock_guard<std::mutex> lock(mu_);
     index_.clear();
     order_.clear();
+    bytes_ = 0;
   }
 
   /// Drop every entry whose key starts with `prefix`. O(entries); used
@@ -67,8 +95,9 @@ class LruCache {
     std::lock_guard<std::mutex> lock(mu_);
     size_t erased = 0;
     for (auto it = order_.begin(); it != order_.end();) {
-      if (it->first.compare(0, prefix.size(), prefix) == 0) {
-        index_.erase(it->first);
+      if (it->key.compare(0, prefix.size(), prefix) == 0) {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
         it = order_.erase(it);
         ++erased;
       } else {
@@ -81,27 +110,45 @@ class LruCache {
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t evictions = 0;
+    uint64_t evictions = 0;       ///< total evictions (either cap)
+    uint64_t byte_evictions = 0;  ///< evictions forced by the byte budget
     size_t entries = 0;
+    size_t bytes = 0;             ///< priced bytes currently resident
   };
 
   Counters counters() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return Counters{hits_, misses_, evictions_, order_.size()};
+    Counters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.evictions = evictions_;
+    c.byte_evictions = byte_evictions_;
+    c.entries = order_.size();
+    c.bytes = bytes_;
+    return c;
   }
 
   size_t capacity() const { return capacity_; }
+  size_t byte_capacity() const { return byte_capacity_; }
 
  private:
-  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+  };
 
   const size_t capacity_;
+  const size_t byte_capacity_;
+  const SizeFn size_fn_;
   mutable std::mutex mu_;
   std::list<Entry> order_;  // front = most recently used
   std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t byte_evictions_ = 0;
+  size_t bytes_ = 0;
 };
 
 }  // namespace sky

@@ -1,0 +1,109 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "query/shard_map.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "data/partition.h"
+#include "data/working_set.h"
+#include "dominance/dominance.h"
+#include "parallel/thread_pool.h"
+
+namespace sky {
+
+const char* ShardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kRoundRobin:
+      return "rr";
+    case ShardPolicy::kMedianPivot:
+      return "median";
+  }
+  return "?";
+}
+
+ShardPolicy ParseShardPolicy(const std::string& name) {
+  if (name == "rr" || name == "roundrobin") return ShardPolicy::kRoundRobin;
+  if (name == "median") return ShardPolicy::kMedianPivot;
+  throw std::runtime_error("unknown shard policy '" + name +
+                           "' (want rr|median)");
+}
+
+namespace {
+
+/// Row order for kMedianPivot: stable-sort original rows by their
+/// partition mask relative to the median pivot, so equal-mask points (the
+/// same orthant of the pivot) end up contiguous and each cut of the order
+/// covers a small sub-box of the space.
+std::vector<PointId> MaskOrder(const Dataset& data, uint64_t seed) {
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  WorkingSet ws = WorkingSet::FromDataset(data, pool);
+  const DomCtx dom(ws.dims, ws.stride, /*use_simd=*/true);
+  const std::vector<Value> pivot =
+      SelectPivot(ws, PivotPolicy::kMedian, pool, seed);
+  AssignMasks(ws, pivot.data(), dom, pool);
+  std::vector<PointId> order(ws.count);
+  std::iota(order.begin(), order.end(), PointId{0});
+  std::stable_sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return ws.masks[a] < ws.masks[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+ShardMap ShardMap::Build(const Dataset& data, size_t shards,
+                         ShardPolicy policy, uint64_t seed) {
+  ShardMap map;
+  map.policy_ = policy;
+  map.dims_ = data.dims();
+  map.total_count_ = data.count();
+  const size_t k = std::min(std::max<size_t>(shards, 1),
+                            std::max<size_t>(data.count(), 1));
+
+  // Membership lists per shard, in original row-id order per shard.
+  std::vector<std::vector<PointId>> members(k);
+  if (policy == ShardPolicy::kRoundRobin || k == 1 || data.count() == 0) {
+    for (size_t i = 0; i < data.count(); ++i) {
+      members[i % k].push_back(static_cast<PointId>(i));
+    }
+  } else {
+    const std::vector<PointId> order = MaskOrder(data, seed);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      // Equal-size cuts of the mask order: shard s covers positions
+      // [s*n/k, (s+1)*n/k).
+      members[pos * k / order.size()].push_back(order[pos]);
+    }
+  }
+
+  const int dims = data.dims();
+  const size_t row_bytes = sizeof(Value) * static_cast<size_t>(data.stride());
+  map.shards_.resize(k);
+  for (size_t s = 0; s < k; ++s) {
+    Shard& shard = map.shards_[s];
+    shard.row_ids = std::move(members[s]);
+    shard.data = Dataset(dims, shard.row_ids.size());
+    shard.box_lo.assign(static_cast<size_t>(dims),
+                        std::numeric_limits<Value>::infinity());
+    shard.box_hi.assign(static_cast<size_t>(dims),
+                        -std::numeric_limits<Value>::infinity());
+    for (size_t w = 0; w < shard.row_ids.size(); ++w) {
+      const Value* src = data.Row(shard.row_ids[w]);
+      std::memcpy(shard.data.MutableRow(w), src, row_bytes);
+      for (int j = 0; j < dims; ++j) {
+        // NaN fails both comparisons and stays out of the box.
+        if (src[j] < shard.box_lo[static_cast<size_t>(j)]) {
+          shard.box_lo[static_cast<size_t>(j)] = src[j];
+        }
+        if (src[j] > shard.box_hi[static_cast<size_t>(j)]) {
+          shard.box_hi[static_cast<size_t>(j)] = src[j];
+        }
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace sky

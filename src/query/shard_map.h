@@ -1,0 +1,71 @@
+// Copyright (c) SkyBench-NG contributors.
+// Sharded dataset representation for the serving layer: a registered
+// dataset is split once, at registration time, into K shards, each a
+// self-contained Dataset plus the row-id mapping back to the original and
+// an axis-aligned bounding box over the original dimensions. The planner
+// (query/planner.h) prunes shards whose boxes miss the constraint box and
+// the engine executes the survivors independently, merging partial
+// skylines with the paper's M(S) union-then-filter operator.
+#ifndef SKY_QUERY_SHARD_MAP_H_
+#define SKY_QUERY_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sky {
+
+/// How rows are assigned to shards at build time.
+enum class ShardPolicy : uint8_t {
+  kRoundRobin,   ///< row i -> shard i mod K (balanced, box-agnostic)
+  kMedianPivot,  ///< group by median-pivot partition mask (paper §VI-A2),
+                 ///< then cut the mask order into K equal runs — spatially
+                 ///< coherent shards with tight boxes, so constraint
+                 ///< pruning actually fires
+};
+
+const char* ShardPolicyName(ShardPolicy policy);
+/// Parse "rr" / "roundrobin" / "median". Throws std::runtime_error.
+ShardPolicy ParseShardPolicy(const std::string& name);
+
+/// One shard: a contiguous private Dataset (rows re-padded), the original
+/// row id of each shard row, and the shard's bounding box per original
+/// dimension. NaN coordinates are excluded from the box — they can never
+/// satisfy a closed-interval constraint, so pruning on the NaN-free box
+/// stays exact.
+struct Shard {
+  Dataset data;
+  std::vector<PointId> row_ids;  ///< shard row -> original dataset row
+  std::vector<Value> box_lo;     ///< per-dim minimum (+inf if all-NaN)
+  std::vector<Value> box_hi;     ///< per-dim maximum (-inf if all-NaN)
+};
+
+/// Immutable shard decomposition of one dataset. Built once per
+/// registration; safe to share across concurrent queries.
+class ShardMap {
+ public:
+  /// Split `data` into min(shards, max(count, 1)) shards under `policy`.
+  /// `seed` feeds pivot selection. Every original row lands in exactly one
+  /// shard; shard sizes differ by at most one.
+  static ShardMap Build(const Dataset& data, size_t shards,
+                        ShardPolicy policy, uint64_t seed = 42);
+
+  size_t shard_count() const { return shards_.size(); }
+  const Shard& shard(size_t i) const { return shards_[i]; }
+  ShardPolicy policy() const { return policy_; }
+  int dims() const { return dims_; }
+  /// Sum of shard row counts (== the source dataset's count).
+  size_t total_count() const { return total_count_; }
+
+ private:
+  std::vector<Shard> shards_;
+  ShardPolicy policy_ = ShardPolicy::kRoundRobin;
+  int dims_ = 0;
+  size_t total_count_ = 0;
+};
+
+}  // namespace sky
+
+#endif  // SKY_QUERY_SHARD_MAP_H_

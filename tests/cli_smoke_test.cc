@@ -88,6 +88,87 @@ TEST(CliSmokeTest, OutputCsvHasSkylineRows) {
   std::remove(path.c_str());
 }
 
+TEST(CliSmokeTest, BinarySnapshotRoundTripsThroughFormatFlag) {
+  const std::string snap = ::testing::TempDir() + "/skybench_snap.bin";
+  std::remove(snap.c_str());
+  // The skyline of a skyline is itself, so writing the result rows as a
+  // binary snapshot and re-running on the snapshot must reproduce the
+  // same |sky| — end-to-end SaveBinary -> LoadBinary.
+  const CliResult save = RunCli(
+      "--algo=bnl --dist=corr --n=300 --d=3 --seed=5 --output=" + snap);
+  EXPECT_EQ(save.exit_code, 0) << save.out;
+  EXPECT_NE(save.out.find("(bin)"), std::string::npos) << save.out;
+
+  const auto count_of = [](const std::string& out, const char* tag) {
+    const size_t pos = out.find(tag);
+    EXPECT_NE(pos, std::string::npos) << out;
+    return pos == std::string::npos
+               ? -1L
+               : std::atol(out.c_str() + pos + std::strlen(tag));
+  };
+  const long sky_size = count_of(save.out, "|sky|=");
+
+  // Auto-detection goes by the magic bytes, not the extension.
+  const std::string sniffed = ::testing::TempDir() + "/skybench_snap.data";
+  std::rename(snap.c_str(), sniffed.c_str());
+  const CliResult autodetect = RunCli("--algo=bnl --input=" + sniffed);
+  EXPECT_EQ(autodetect.exit_code, 0) << autodetect.out;
+  EXPECT_EQ(count_of(autodetect.out, "|sky|="), sky_size) << autodetect.out;
+
+  const CliResult forced =
+      RunCli("--algo=bnl --format=bin --input=" + sniffed);
+  EXPECT_EQ(forced.exit_code, 0) << forced.out;
+  EXPECT_EQ(count_of(forced.out, "|sky|="), sky_size) << forced.out;
+
+  // A CSV forced through --format=bin fails on the magic, cleanly.
+  const std::string csv = ::testing::TempDir() + "/skybench_not_bin.csv";
+  {
+    std::ofstream f(csv);
+    f << "0.5,0.5,0.5\n";
+  }
+  const CliResult mismatch = RunCli("--format=bin --input=" + csv);
+  EXPECT_EQ(mismatch.exit_code, 2) << mismatch.out;
+  EXPECT_NE(mismatch.out.find("error:"), std::string::npos) << mismatch.out;
+
+  const CliResult bad_format = RunCli("--format=xml --n=50 --d=3");
+  EXPECT_EQ(bad_format.exit_code, 2) << bad_format.out;
+  EXPECT_NE(bad_format.out.find("error:"), std::string::npos)
+      << bad_format.out;
+
+  std::remove(sniffed.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliSmokeTest, ShardedQueryPrunesAndVerifies) {
+  // Sharded serving must verify against the brute-force reference and
+  // report the same |result| as the unsharded engine run.
+  const CliResult sharded = RunCli(
+      "--dist=indep --n=600 --d=4 --seed=7 --shards=4 "
+      "--shard-policy=median --constrain=3:0.0:0.4 --verify");
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.out;
+  EXPECT_NE(sharded.out.find("shards: policy=median"), std::string::npos)
+      << sharded.out;
+  EXPECT_NE(sharded.out.find("pruned="), std::string::npos) << sharded.out;
+  EXPECT_NE(sharded.out.find("verification: OK"), std::string::npos)
+      << sharded.out;
+
+  const CliResult unsharded = RunCli(
+      "--dist=indep --n=600 --d=4 --seed=7 --constrain=3:0.0:0.4 --verify");
+  EXPECT_EQ(unsharded.exit_code, 0) << unsharded.out;
+  const auto result_of = [](const std::string& out) {
+    const size_t pos = out.find("|result|=");
+    EXPECT_NE(pos, std::string::npos) << out;
+    if (pos == std::string::npos) return std::string();
+    const size_t end = out.find(' ', pos);
+    return out.substr(pos, end - pos);
+  };
+  EXPECT_EQ(result_of(sharded.out), result_of(unsharded.out));
+
+  const CliResult bad = RunCli("--n=50 --d=3 --shards=4 --shard-policy=nope");
+  EXPECT_EQ(bad.exit_code, 2) << bad.out;
+  EXPECT_NE(bad.out.find("error:"), std::string::npos) << bad.out;
+}
+
 TEST(CliSmokeTest, HelpExitsZeroVersionReportsBuild) {
   const CliResult help = RunCli("--help");
   EXPECT_EQ(help.exit_code, 0);

@@ -38,6 +38,21 @@ TEST(Dataset, RowsAre32ByteAligned) {
   }
 }
 
+TEST(Dataset, CloneIsDeepAndExact) {
+  const Dataset a = test::MakeDataset({{1, 2, 3}, {4, 5, 6}});
+  Dataset b = a.Clone();
+  ASSERT_EQ(b.dims(), a.dims());
+  ASSERT_EQ(b.count(), a.count());
+  for (size_t i = 0; i < a.count(); ++i) {
+    for (int j = 0; j < a.dims(); ++j) {
+      EXPECT_EQ(b.Row(i)[j], a.Row(i)[j]);
+    }
+  }
+  b.MutableRow(0)[0] = 99.0f;  // deep: mutating the clone leaves the
+  EXPECT_EQ(a.Row(0)[0], 1.0f);  // original untouched
+  EXPECT_TRUE(Dataset{}.Clone().empty());
+}
+
 TEST(Dataset, MinMaxPerDim) {
   Dataset d = test::MakeDataset({{1, 9}, {5, 2}, {3, 7}});
   const auto mins = d.MinPerDim();

@@ -50,13 +50,7 @@ TEST(QueryEngineStressTest, ConcurrentMixedQueriesOneDataset) {
   SkylineEngine engine(SkylineEngine::Config{4});
   const Dataset data =
       GenerateSynthetic(Distribution::kIndependent, 1500, 4, /*seed=*/77);
-  {
-    Dataset copy(data.dims(), data.count());
-    for (size_t i = 0; i < data.count(); ++i) {
-      std::copy_n(data.Row(i), data.stride(), copy.MutableRow(i));
-    }
-    engine.RegisterDataset("ds", std::move(copy));
-  }
+  engine.RegisterDataset("ds", data.Clone());
 
   const std::vector<QuerySpec> specs = MixedSpecs();
   std::vector<std::vector<PointId>> expected;
@@ -89,6 +83,60 @@ TEST(QueryEngineStressTest, ConcurrentMixedQueriesOneDataset) {
   EXPECT_GT(counters.hits, 0u);
   EXPECT_GT(counters.misses, 0u);
   EXPECT_LE(counters.entries, 4u);
+}
+
+TEST(QueryEngineStressTest, ConcurrentShardedExecutionStaysExact) {
+  // Sharded plan/execute/merge under contention: many threads run the
+  // mixed workload against a 4-shard dataset (per-shard pools, M(S)
+  // merges and the view cache all active at once) while a churn thread
+  // re-registers the same content under alternating shard policies —
+  // every served result must still match the unsharded answer.
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 4;  // force recomputation under load
+  config.shards = 4;
+  config.shard_policy = ShardPolicy::kMedianPivot;
+  SkylineEngine engine(config);
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 1200, 4, /*seed=*/21);
+  engine.RegisterDataset("ds", data.Clone());
+
+  const std::vector<QuerySpec> specs = MixedSpecs();
+  std::vector<std::vector<PointId>> expected;
+  for (const QuerySpec& spec : specs) {
+    expected.push_back(Sorted(RunQuery(data, spec).ids));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread churn([&] {
+    for (int i = 0; i < 12; ++i) {
+      engine.RegisterDataset("ds", data.Clone(), 4,
+                             i % 2 ? ShardPolicy::kRoundRobin
+                                   : ShardPolicy::kMedianPivot);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 6;
+  ThreadPool pool(kThreads);
+  pool.RunOnAll([&](int worker) {
+    Options opts;
+    opts.threads = 2;  // per-query shard parallelism under contention
+    int round = 0;
+    do {
+      const size_t q =
+          (static_cast<size_t>(worker) * 5 + static_cast<size_t>(round)) %
+          specs.size();
+      const QueryResult r = engine.Execute("ds", specs[q], opts);
+      if (Sorted(r.ids) != expected[q]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++round;
+    } while (!stop.load(std::memory_order_acquire) || round < 12);
+  });
+  churn.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_NE(engine.FindShards("ds"), nullptr);
 }
 
 TEST(QueryEngineStressTest, QueriesRaceRegistrationAndEviction) {

@@ -3,6 +3,7 @@
 // version invalidation, top-k ranking and error paths.
 #include "query/engine.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "data/generator.h"
@@ -99,6 +100,31 @@ TEST(RunQueryTest, EmptyConstraintBoxYieldsEmptyResult) {
   const QueryResult r = RunQuery(data, spec);
   EXPECT_TRUE(r.ids.empty());
   EXPECT_EQ(r.matched_rows, 0u);
+}
+
+TEST(RunQueryTest, ProgressiveCallbackReportsOriginalIds) {
+  // A constraint shifts view row numbers away from original ids; the
+  // progressive callback must still deliver caller-space ids, and their
+  // union must be exactly the final skyline.
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 400, 4, 31);
+  QuerySpec spec;
+  spec.Constrain(0, 0.3f, 1.0f);
+  Options opts;
+  opts.algorithm = Algorithm::kQFlow;
+  opts.threads = 2;
+  std::mutex mu;
+  std::vector<PointId> reported;
+  opts.progressive = [&](std::span<const PointId> ids) {
+    std::lock_guard<std::mutex> lock(mu);
+    reported.insert(reported.end(), ids.begin(), ids.end());
+  };
+  const QueryResult r = RunQuery(data, spec, opts);
+  std::vector<PointId> got = reported;
+  std::vector<PointId> want = r.ids;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
 }
 
 TEST(RunQueryTest, VerifyQueryAcceptsGoodAndRejectsCorrupted) {
@@ -223,6 +249,95 @@ TEST(SkylineEngineTest, ClearCacheForcesRecompute) {
   engine.Execute("ds", QuerySpec{});
   engine.ClearCache();
   EXPECT_FALSE(engine.Execute("ds", QuerySpec{}).cache_hit);
+}
+
+Dataset ThreeIncomparable() {
+  return MakeDataset({{0.1f, 0.9f}, {0.5f, 0.5f}, {0.9f, 0.1f}});
+}
+
+TEST(SkylineEngineTest, ByteBudgetEvictsLruFirst) {
+  // Three incomparable points: every band query returns all three rows,
+  // so every cached result prices identically and the byte budget holds
+  // exactly two of them.
+  const size_t one =
+      QueryResultBytes(RunQuery(ThreeIncomparable(), QuerySpec{}));
+
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 128;  // entry cap never binds here
+  config.result_cache_bytes = 2 * one;
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", ThreeIncomparable());
+  QuerySpec band2;
+  band2.band_k = 2;
+  QuerySpec band3;
+  band3.band_k = 3;
+  engine.Execute("ds", QuerySpec{});  // A
+  engine.Execute("ds", band2);        // B — {B, A}, at budget
+  auto counters = engine.cache_counters();
+  EXPECT_EQ(counters.entries, 2u);
+  EXPECT_EQ(counters.bytes, 2 * one);
+  EXPECT_EQ(counters.byte_evictions, 0u);
+
+  engine.Execute("ds", band3);  // C — evicts A, the LRU entry
+  counters = engine.cache_counters();
+  EXPECT_EQ(counters.entries, 2u);
+  EXPECT_LE(counters.bytes, config.result_cache_bytes);
+  EXPECT_EQ(counters.byte_evictions, 1u);
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_TRUE(engine.Execute("ds", band3).cache_hit);
+  EXPECT_TRUE(engine.Execute("ds", band2).cache_hit);
+  EXPECT_FALSE(engine.Execute("ds", QuerySpec{}).cache_hit);  // was evicted
+}
+
+TEST(SkylineEngineTest, ResultLargerThanByteBudgetIsNotRetained) {
+  const size_t one =
+      QueryResultBytes(RunQuery(ThreeIncomparable(), QuerySpec{}));
+
+  SkylineEngine::Config config;
+  config.result_cache_bytes = one - 1;
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", ThreeIncomparable());
+  engine.Execute("ds", QuerySpec{});
+  const auto counters = engine.cache_counters();
+  EXPECT_EQ(counters.entries, 0u);
+  EXPECT_EQ(counters.bytes, 0u);
+  EXPECT_FALSE(engine.Execute("ds", QuerySpec{}).cache_hit);
+}
+
+TEST(SkylineEngineTest, ViewReusedAcrossSpecsDifferingOnlyInDepthOrCap) {
+  SkylineEngine engine;
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 300, 4, 23);
+  engine.RegisterDataset("ds", data.Clone());
+
+  QuerySpec base;
+  base.SetPreference(1, Preference::kMax).Constrain(0, 0.1f, 0.9f);
+  QuerySpec capped = base;
+  capped.top_k = 5;
+  QuerySpec banded = base;
+  banded.band_k = 3;
+
+  engine.Execute("ds", base);  // builds + caches the materialized view
+  auto views = engine.view_cache_counters();
+  EXPECT_EQ(views.misses, 1u);
+  EXPECT_EQ(views.entries, 1u);
+
+  // Same ViewKey, different band_k / top_k: result-cache misses that
+  // reuse the one materialized view instead of rebuilding it.
+  const QueryResult r1 = engine.Execute("ds", capped);
+  const QueryResult r2 = engine.Execute("ds", banded);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_FALSE(r2.cache_hit);
+  views = engine.view_cache_counters();
+  EXPECT_EQ(views.hits, 2u);
+  EXPECT_EQ(views.misses, 1u);
+  EXPECT_EQ(views.entries, 1u);
+  EXPECT_EQ(AsEntries(r1), ReferenceQuery(data, capped));
+  EXPECT_EQ(SortedEntries(r2), ReferenceQuery(data, banded));
+
+  // The identity transform needs no view and must not populate the cache.
+  engine.Execute("ds", QuerySpec{});
+  EXPECT_EQ(engine.view_cache_counters().entries, 1u);
 }
 
 TEST(SkylineEngineTest, InvalidSpecSurfacesAsException) {

@@ -29,6 +29,7 @@
 #include "data/realistic.h"
 #include "dominance/dominance.h"
 #include "query/engine.h"
+#include "query/shard_map.h"
 
 namespace sky {
 namespace {
@@ -36,8 +37,9 @@ namespace {
 struct CliArgs {
   std::string algo = "hybrid";
   std::string dist = "indep";
-  std::string input;      // CSV or .bin path; overrides generation
-  std::string output;     // optional: write skyline rows as CSV
+  std::string input;      // CSV or binary path; overrides generation
+  std::string format = "auto";  // input parsing: auto|csv|bin
+  std::string output;     // write result rows; *.bin selects SaveBinary
   size_t n = 100'000;
   int d = 8;
   int threads = 0;
@@ -53,10 +55,12 @@ struct CliArgs {
   std::string constrain;  // box constraints, e.g. "1:0.2:0.8,3:*:0.5"
   uint32_t kband = 1;     // band depth (1 = skyline)
   size_t topk = 0;        // ranked result cap (0 = all)
+  size_t shards = 1;      // engine shard count (1 = unsharded)
+  std::string shard_policy = "rr";  // rr|median
 
   bool UsesQueryEngine() const {
     return !minmax.empty() || !project.empty() || !constrain.empty() ||
-           kband != 1 || topk != 0;
+           kband != 1 || topk != 0 || shards > 1;
   }
 };
 
@@ -76,8 +80,11 @@ struct CliArgs {
       "                   hybrid|bskytree|pbskytree|all      (default hybrid)\n"
       "  --dist=NAME      corr|indep|anti|nba|house|weather  (default indep)\n"
       "  --n=N --d=D      generated workload size             (1e5 x 8)\n"
-      "  --input=PATH     load CSV (or .bin) instead of generating\n"
-      "  --output=PATH    write skyline points as CSV\n"
+      "  --input=PATH     load CSV or binary snapshot instead of generating\n"
+      "  --format=NAME    input format: auto|csv|bin     (default auto:\n"
+      "                   sniff the binary magic, else CSV)\n"
+      "  --output=PATH    write result points (*.bin = binary snapshot,\n"
+      "                   else CSV)\n"
       "  --threads=T      0 = all hardware threads\n"
       "  --alpha=A        block size (0 = paper default)\n"
       "  --pivot=NAME     median|balanced|manhattan|volume|random\n"
@@ -91,6 +98,9 @@ struct CliArgs {
       "  --constrain=SPEC box constraints DIM:LO:HI[,...]; * = unbounded\n"
       "  --kband=K        k-skyband: points with < K dominators (default 1)\n"
       "  --topk=K         cap ranked results at K points (default all)\n"
+      "  --shards=K       split the dataset into K engine shards; queries\n"
+      "                   plan, prune and merge per shard (default 1)\n"
+      "  --shard-policy=P rr|median row-to-shard assignment (default rr)\n"
       "  --version        print build identity and exit\n"
       "  --help           print this message and exit\n");
   std::exit(exit_code);
@@ -134,6 +144,7 @@ CliArgs Parse(int argc, char** argv) {
     if (Flag(argv[i], "--algo", &v) && v) a.algo = v;
     else if (Flag(argv[i], "--dist", &v) && v) a.dist = v;
     else if (Flag(argv[i], "--input", &v) && v) a.input = v;
+    else if (Flag(argv[i], "--format", &v) && v) a.format = v;
     else if (Flag(argv[i], "--output", &v) && v) a.output = v;
     else if (Flag(argv[i], "--n", &v) && v)
       a.n = static_cast<size_t>(std::atoll(v));
@@ -151,6 +162,9 @@ CliArgs Parse(int argc, char** argv) {
       a.kband = static_cast<uint32_t>(ParseCount(v, "--kband", UINT32_MAX));
     else if (Flag(argv[i], "--topk", &v) && v)
       a.topk = static_cast<size_t>(ParseCount(v, "--topk", SIZE_MAX));
+    else if (Flag(argv[i], "--shards", &v) && v)
+      a.shards = static_cast<size_t>(ParseCount(v, "--shards", 1'000'000));
+    else if (Flag(argv[i], "--shard-policy", &v) && v) a.shard_policy = v;
     else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
     else if (Flag(argv[i], "--stats", &v)) a.stats = true;
     else if (Flag(argv[i], "--verify", &v)) a.verify = true;
@@ -164,11 +178,12 @@ CliArgs Parse(int argc, char** argv) {
 
 Dataset LoadData(const CliArgs& a) {
   if (!a.input.empty()) {
-    if (a.input.size() > 4 &&
-        a.input.compare(a.input.size() - 4, 4, ".bin") == 0) {
-      return Dataset::LoadBinary(a.input);
-    }
-    return Dataset::LoadCsv(a.input);
+    if (a.format == "bin") return Dataset::LoadBinary(a.input);
+    if (a.format == "csv") return Dataset::LoadCsv(a.input);
+    // auto: the snapshot magic decides, so binary inputs need no
+    // particular file extension.
+    return Dataset::SniffBinary(a.input) ? Dataset::LoadBinary(a.input)
+                                         : Dataset::LoadCsv(a.input);
   }
   if (a.dist == "nba") return GenerateNbaLike(a.n, a.seed);
   if (a.dist == "house") return GenerateHouseLike(a.n, a.seed);
@@ -188,7 +203,8 @@ Options BuildOptions(const CliArgs& a, Algorithm algo) {
   return o;
 }
 
-/// Write the selected rows (original dimensions) of `data` as CSV.
+/// Write the selected rows (original dimensions) of `data` to `path` —
+/// a binary snapshot when the path ends in ".bin", CSV otherwise.
 void WriteRows(const Dataset& data, const std::vector<PointId>& ids,
                const std::string& path, const char* what) {
   Dataset out(data.dims(), ids.size());
@@ -196,8 +212,15 @@ void WriteRows(const Dataset& data, const std::vector<PointId>& ids,
     std::memcpy(out.MutableRow(i), data.Row(ids[i]),
                 sizeof(Value) * static_cast<size_t>(data.dims()));
   }
-  out.SaveCsv(path);
-  std::printf("  wrote %zu %s rows to %s\n", out.count(), what, path.c_str());
+  const bool bin =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  if (bin) {
+    out.SaveBinary(path);
+  } else {
+    out.SaveCsv(path);
+  }
+  std::printf("  wrote %zu %s rows to %s (%s)\n", out.count(), what,
+              path.c_str(), bin ? "bin" : "csv");
 }
 
 void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
@@ -246,6 +269,10 @@ void RunQueryOne(SkylineEngine& engine, const Dataset& data, Algorithm algo,
               a.kband > 1 ? "skyband" : AlgorithmName(algo),
               r.stats.total_seconds, r.ids.size(), r.matched_rows,
               r.cache_hit ? " [cached]" : "");
+  if (a.shards > 1) {
+    std::printf("  shards: policy=%s executed=%u pruned=%u\n",
+                a.shard_policy.c_str(), r.shards_executed, r.shards_pruned);
+  }
   if (a.stats) std::printf("  %s\n", r.stats.ToString().c_str());
   if (a.verify) {
     if (VerifyQuery(data, spec, r)) {
@@ -268,6 +295,14 @@ int main(int argc, char** argv) try {
                  sky::kMaxDims, args.d);
     return 2;
   }
+  if (args.format != "auto" && args.format != "csv" && args.format != "bin") {
+    std::fprintf(stderr, "error: unknown --format '%s' (want auto|csv|bin)\n",
+                 args.format.c_str());
+    return 2;
+  }
+  // Resolved before the data load so a typo fails fast.
+  const sky::ShardPolicy shard_policy =
+      sky::ParseShardPolicy(args.shard_policy);
   // Resolve algorithm names before the (possibly expensive) data load so
   // a typo fails fast.
   std::vector<sky::Algorithm> algos;
@@ -285,9 +320,13 @@ int main(int argc, char** argv) try {
   sky::Dataset data = sky::LoadData(args);
   std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
   if (args.UsesQueryEngine()) {
-    // Route through the serving layer: register once (padded rows built at
-    // load), then execute against the registered dataset.
-    sky::SkylineEngine engine;
+    // Route through the serving layer: register once (padded rows and the
+    // shard decomposition built at load), then execute against the
+    // registered dataset.
+    sky::SkylineEngine::Config cfg;
+    cfg.shards = args.shards;
+    cfg.shard_policy = shard_policy;
+    sky::SkylineEngine engine(cfg);
     engine.RegisterDataset("cli", std::move(data));
     const std::shared_ptr<const sky::Dataset> ds = engine.Find("cli");
     if (args.kband > 1 && algos.size() > 1) {
