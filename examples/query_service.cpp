@@ -5,6 +5,7 @@
 // to the one-shot ComputeSkyline call of the quickstart.
 //
 //   $ ./query_service [n_points] [n_threads] [rounds] [shards]
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +28,8 @@ std::vector<std::pair<const char*, sky::QuerySpec>> BuildWorkload() {
 
   // "hotels" is house-like data: d=0 price, d=1..: quality-ish columns.
   sky::QuerySpec cheap_best;
-  cheap_best.SetPreference(1, Preference::kMax).SetPreference(2, Preference::kMax);
+  cheap_best.SetPreference(1, Preference::kMax)
+      .SetPreference(2, Preference::kMax);
   queries.emplace_back("hotels", cheap_best);
 
   sky::QuerySpec budget_band = cheap_best;
@@ -67,11 +69,17 @@ int main(int argc, char** argv) {
   // against per-shard bounding boxes and skip shards outside the box,
   // everything else fans out and merges with M(S). Median-pivot
   // assignment keeps hotel shards spatially tight (prunable); the flights
-  // registration exercises the round-robin policy.
+  // registration exercises the round-robin policy. auto_algorithm lets
+  // the cost model pick the algorithm per query and per shard from the
+  // registration-time sketches; the caches carry a byte budget (views)
+  // and a TTL (results) like a long-lived deployment would.
   sky::SkylineEngine::Config config;
   config.result_cache_capacity = 64;
+  config.result_cache_ttl = 300.0;          // refresh-heavy service: 5 min
+  config.view_cache_bytes = size_t{64} << 20;  // 64 MiB of hot views
   config.shards = shards;
   config.shard_policy = sky::ShardPolicy::kMedianPivot;
+  config.auto_algorithm = true;
   sky::SkylineEngine engine(config);
   engine.RegisterDataset("hotels", sky::GenerateHouseLike(n, /*seed=*/7));
   engine.RegisterDataset(
@@ -89,6 +97,9 @@ int main(int argc, char** argv) {
   std::atomic<size_t> served{0};
   std::atomic<size_t> returned_points{0};
   std::atomic<size_t> shards_pruned{0};
+  // Tally of the cost model's per-shard algorithm decisions, indexed by
+  // the Algorithm enum value.
+  std::array<std::atomic<size_t>, 16> decisions{};
 
   // Every pool worker is an independent "frontend thread" hammering the
   // shared engine with the mixed workload, offset so distinct queries are
@@ -106,6 +117,10 @@ int main(int argc, char** argv) {
         served.fetch_add(1, std::memory_order_relaxed);
         returned_points.fetch_add(r.ids.size(), std::memory_order_relaxed);
         shards_pruned.fetch_add(r.shards_pruned, std::memory_order_relaxed);
+        for (const sky::Algorithm a : r.shard_algorithms) {
+          decisions[static_cast<size_t>(a)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
       }
     }
   });
@@ -120,6 +135,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.misses), cache.entries);
   std::printf("shards pruned   : %zu (constraint boxes missed the shard)\n",
               shards_pruned.load());
+  std::printf("auto decisions  :");
+  for (size_t a = 0; a < decisions.size(); ++a) {
+    if (decisions[a].load() == 0) continue;
+    std::printf(" %s=%zu",
+                sky::AlgorithmName(static_cast<sky::Algorithm>(a)),
+                decisions[a].load());
+  }
+  std::printf("\n");
 
   // A dataset refresh: re-registering bumps the version, so the very next
   // identical query recomputes against the new data instead of the cache.

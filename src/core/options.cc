@@ -1,80 +1,55 @@
 // Copyright (c) SkyBench-NG contributors.
 #include "core/options.h"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
+#include "core/algorithm_registry.h"
 #include "parallel/thread_pool.h"
 
 namespace sky {
+namespace {
+
+/// Case- and dash-insensitive normal form, so "Q-Flow", "qflow" and
+/// "BSkyTree-S"/"bskytrees" all parse ("auto" included).
+std::string NormalizeAlgorithmName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '-') continue;
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* AlgorithmName(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kBnl:
-      return "BNL";
-    case Algorithm::kSfs:
-      return "SFS";
-    case Algorithm::kLess:
-      return "LESS";
-    case Algorithm::kSalsa:
-      return "SaLSa";
-    case Algorithm::kSSkyline:
-      return "SSkyline";
-    case Algorithm::kPSkyline:
-      return "PSkyline";
-    case Algorithm::kAPSkyline:
-      return "APSkyline";
-    case Algorithm::kPsfs:
-      return "PSFS";
-    case Algorithm::kQFlow:
-      return "Q-Flow";
-    case Algorithm::kHybrid:
-      return "Hybrid";
-    case Algorithm::kBSkyTree:
-      return "BSkyTree";
-    case Algorithm::kBSkyTreeS:
-      return "BSkyTree-S";
-    case Algorithm::kOsp:
-      return "OSP";
-    case Algorithm::kPBSkyTree:
-      return "PBSkyTree";
+  if (algo == Algorithm::kAuto) return "auto";
+  for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+    if (desc.algorithm == algo) return desc.name;
   }
   return "?";
 }
 
 Algorithm ParseAlgorithm(const std::string& name) {
-  if (name == "bnl" || name == "BNL") return Algorithm::kBnl;
-  if (name == "sfs" || name == "SFS") return Algorithm::kSfs;
-  if (name == "less" || name == "LESS") return Algorithm::kLess;
-  if (name == "salsa" || name == "SaLSa") return Algorithm::kSalsa;
-  if (name == "sskyline" || name == "SSkyline") return Algorithm::kSSkyline;
-  if (name == "pskyline" || name == "PSkyline") return Algorithm::kPSkyline;
-  if (name == "apskyline" || name == "APSkyline")
-    return Algorithm::kAPSkyline;
-  if (name == "psfs" || name == "PSFS") return Algorithm::kPsfs;
-  if (name == "qflow" || name == "Q-Flow" || name == "q-flow")
-    return Algorithm::kQFlow;
-  if (name == "hybrid" || name == "Hybrid") return Algorithm::kHybrid;
-  if (name == "bskytree" || name == "BSkyTree") return Algorithm::kBSkyTree;
-  if (name == "bskytree-s" || name == "bskytrees" || name == "BSkyTree-S")
-    return Algorithm::kBSkyTreeS;
-  if (name == "osp" || name == "OSP") return Algorithm::kOsp;
-  if (name == "pbskytree" || name == "PBSkyTree")
-    return Algorithm::kPBSkyTree;
-  throw std::invalid_argument("unknown algorithm: " + name);
+  const std::string norm = NormalizeAlgorithmName(name);
+  if (norm == "auto") return Algorithm::kAuto;
+  for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+    if (norm == NormalizeAlgorithmName(desc.parse_name) ||
+        norm == NormalizeAlgorithmName(desc.name)) {
+      return desc.algorithm;
+    }
+  }
+  throw std::invalid_argument("unknown algorithm '" + name +
+                              "' (valid: " + AlgorithmNameList() + ")");
 }
 
 bool IsParallelAlgorithm(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kAPSkyline:
-    case Algorithm::kPSkyline:
-    case Algorithm::kPsfs:
-    case Algorithm::kQFlow:
-    case Algorithm::kHybrid:
-    case Algorithm::kPBSkyTree:
-      return true;
-    default:
-      return false;
-  }
+  if (algo == Algorithm::kAuto) return true;  // may resolve to parallel
+  return GetAlgorithmDescriptor(algo).parallel;
 }
 
 size_t Options::AlphaFor(Algorithm algo) const {
@@ -83,7 +58,7 @@ size_t Options::AlphaFor(Algorithm algo) const {
     case Algorithm::kHybrid:
       return size_t{1} << 10;  // paper Fig. 8
     default:
-      return size_t{1} << 13;  // paper Fig. 7
+      return size_t{1} << 13;  // paper Fig. 7 (kAuto: resolved upstream)
   }
 }
 

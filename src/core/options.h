@@ -17,7 +17,8 @@ namespace sky {
 
 /// Every algorithm implemented by the library. Q-Flow and Hybrid are the
 /// paper's contribution; the rest are the baselines of its evaluation plus
-/// the classic sequential algorithms the benchmark suite ships.
+/// the classic sequential algorithms the benchmark suite ships. Each
+/// concrete value owns a descriptor row in core/algorithm_registry.h.
 enum class Algorithm : uint8_t {
   kBnl,        ///< block-nested-loop [Börzsönyi et al. 2001] — test oracle
   kSfs,        ///< sort-filter skyline [Chomicki et al. 2003]
@@ -33,12 +34,18 @@ enum class Algorithm : uint8_t {
   kBSkyTreeS,  ///< BSkyTree-S: one pivot, no recursion/tree [Lee/Hwang 2014]
   kOsp,        ///< OSP: recursive partitioning, random pivot [Zhang 2009]
   kPBSkyTree,  ///< paper Appendix A: parallelized BSkyTree
+  kAuto,       ///< cost-model selection from the dataset/shard sketch
+               ///< (query/cost_model.h); resolved before dispatch
 };
 
 const char* AlgorithmName(Algorithm algo);
+/// Parse a CLI spelling or display name (case and '-' insensitive),
+/// including "auto". Throws std::invalid_argument listing every valid
+/// name on junk.
 Algorithm ParseAlgorithm(const std::string& name);
 
-/// True for algorithms that use more than one thread.
+/// True for algorithms that use more than one thread. kAuto counts as
+/// parallel: it may resolve to a parallel algorithm.
 bool IsParallelAlgorithm(Algorithm algo);
 
 /// Invoked after each completed block with the original ids of points just
@@ -72,10 +79,15 @@ struct Options {
   /// Seed for randomized choices (kRandom pivot).
   uint64_t seed = 42;
 
-  /// Optional progressive result callback (Q-Flow/Hybrid/SFS/SaLSa).
+  /// Optional progressive result callback. Honored by the algorithms
+  /// whose registry descriptor sets `progressive` (Q-Flow, Hybrid,
+  /// SFS, SaLSa, LESS, PSFS, BSkyTree-S); others ignore it. kAuto
+  /// restricts selection to these when a callback is present.
   ProgressiveCallback progressive;
 
-  /// Resolved α for an algorithm (applies the paper defaults).
+  /// Resolved α for an algorithm (applies the paper defaults). kAuto
+  /// resolves to a concrete algorithm before α matters; asking anyway
+  /// returns the Fig. 7 default.
   size_t AlphaFor(Algorithm algo) const;
   /// Resolved thread count.
   int ResolvedThreads() const;

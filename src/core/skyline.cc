@@ -3,58 +3,21 @@
 
 #include <algorithm>
 
-#include "baselines/apskyline.h"
 #include "baselines/bnl.h"
-#include "baselines/bskytree.h"
-#include "baselines/bskytree_s.h"
-#include "baselines/less.h"
-#include "baselines/pbskytree.h"
-#include "baselines/psfs.h"
-#include "baselines/pskyline.h"
-#include "baselines/salsa.h"
-#include "baselines/sfs.h"
-#include "baselines/sskyline.h"
-#include "core/hybrid.h"
-#include "core/qflow.h"
+#include "core/algorithm_registry.h"
+#include "query/cost_model.h"
 
 namespace sky {
 
 Result ComputeSkyline(const Dataset& data, const Options& opts) {
-  switch (opts.algorithm) {
-    case Algorithm::kBnl:
-      return BnlCompute(data, opts);
-    case Algorithm::kSfs:
-      return SfsCompute(data, opts);
-    case Algorithm::kLess:
-      return LessCompute(data, opts);
-    case Algorithm::kSalsa:
-      return SalsaCompute(data, opts);
-    case Algorithm::kSSkyline:
-      return SSkylineCompute(data, opts);
-    case Algorithm::kPSkyline:
-      return PSkylineCompute(data, opts);
-    case Algorithm::kAPSkyline:
-      return APSkylineCompute(data, opts);
-    case Algorithm::kPsfs:
-      return PsfsCompute(data, opts);
-    case Algorithm::kQFlow:
-      return QFlowCompute(data, opts);
-    case Algorithm::kHybrid:
-      return HybridCompute(data, opts);
-    case Algorithm::kBSkyTree:
-      return BSkyTreeCompute(data, opts);
-    case Algorithm::kBSkyTreeS:
-      return BSkyTreeSCompute(data, opts);
-    case Algorithm::kOsp: {
-      // OSP = BSkyTree's recursion with a random skyline pivot.
-      Options osp = opts;
-      osp.pivot = PivotPolicy::kRandom;
-      return BSkyTreeCompute(data, osp);
-    }
-    case Algorithm::kPBSkyTree:
-      return PBSkyTreeCompute(data, opts);
+  Options run = opts;
+  if (run.algorithm == Algorithm::kAuto) {
+    // Direct calls with kAuto sketch the input on the fly (the one
+    // deliberate core -> query arrow; the serving layer resolves from
+    // its registration-time sketches long before reaching here).
+    run.algorithm = ChooseAlgorithmForDataset(data, opts);
   }
-  return BnlCompute(data, opts);
+  return GetAlgorithmDescriptor(run.algorithm).compute(data, run);
 }
 
 bool VerifySkyline(const Dataset& data,

@@ -1,0 +1,237 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "data/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace sky {
+namespace {
+
+/// Caps keeping sketch cost flat in n: moment/quantile rows, correlation
+/// rows, and the two log-spaced skyline subsample sizes.
+constexpr size_t kMomentSample = 2048;
+constexpr size_t kQuantileKeep = 256;
+constexpr size_t kSpearmanSample = 256;
+constexpr size_t kSkylineSampleLo = 512;
+constexpr size_t kSkylineSampleHi = 2048;
+
+/// Evenly spaced row indices covering [0, n) — deterministic and
+/// order-insensitive enough for moment and quantile estimation.
+std::vector<size_t> StrideSample(size_t n, size_t want) {
+  const size_t take = std::min(n, want);
+  std::vector<size_t> rows(take);
+  for (size_t i = 0; i < take; ++i) rows[i] = i * n / take;
+  return rows;
+}
+
+/// Random row subset in random order, for the skyline subsamples
+/// (stride or dataset-order sampling would bias against sorted inputs,
+/// e.g. mask-ordered shards — and the lo estimate is a *prefix* of this
+/// list, so the order itself must be random too). Rows are distinct via
+/// a partial Fisher-Yates shuffle while the index vector is affordable;
+/// for huge n, sampling with replacement collides on < want/2^16 of the
+/// draws, which is negligible (duplicates would otherwise inflate the
+/// sample skyline: equal rows never dominate each other).
+std::vector<size_t> RandomSample(size_t n, size_t want, Rng& rng) {
+  const size_t take = std::min(n, want);
+  if (n <= size_t{1} << 16) {
+    std::vector<size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), size_t{0});
+    for (size_t i = 0; i < take; ++i) {
+      std::swap(rows[i], rows[i + rng.NextBounded(n - i)]);
+    }
+    rows.resize(take);
+    return rows;
+  }
+  std::vector<size_t> rows(take);
+  for (size_t i = 0; i < take; ++i) rows[i] = rng.NextBounded(n);
+  return rows;
+}
+
+/// |SKY| of the sampled rows by incremental nested loops (BNL-style,
+/// local to the sketch so the data layer stays independent of core/).
+/// NaN rows never dominate and are never dominated, matching the
+/// algorithm suite's IEEE comparison semantics.
+size_t SampleSkylineSize(const Dataset& data, const std::vector<size_t>& rows) {
+  const int d = data.dims();
+  std::vector<const Value*> sky;
+  sky.reserve(64);
+  for (const size_t row : rows) {
+    const Value* q = data.Row(row);
+    bool dominated = false;
+    size_t w = 0;
+    for (size_t i = 0; i < sky.size(); ++i) {
+      const Value* p = sky[i];
+      bool p_le = true, p_lt = false, q_le = true, q_lt = false;
+      for (int j = 0; j < d; ++j) {
+        p_le &= p[j] <= q[j];
+        p_lt |= p[j] < q[j];
+        q_le &= q[j] <= p[j];
+        q_lt |= q[j] < p[j];
+      }
+      if (p_le && p_lt) {
+        dominated = true;
+        // Keep the remaining members: q cannot dominate any of them
+        // (dominance is transitive and they are mutually incomparable).
+        break;
+      }
+      if (!(q_le && q_lt)) sky[w++] = p;  // p survives q
+    }
+    if (dominated) continue;
+    sky.resize(w);
+    sky.push_back(q);
+  }
+  return sky.size();
+}
+
+/// Mean Spearman rank correlation across all dimension pairs of a row
+/// sample. Ranks use average-free midpoint-less ordering (ties broken by
+/// sample position), which is ample for a sign-and-strength summary.
+double MeanSpearman(const Dataset& data, const std::vector<size_t>& rows) {
+  const int d = data.dims();
+  const size_t s = rows.size();
+  if (d < 2 || s < 8) return 0.0;
+
+  // Rank each dimension's sample values.
+  std::vector<std::vector<double>> ranks(static_cast<size_t>(d),
+                                         std::vector<double>(s));
+  std::vector<size_t> order(s);
+  for (int j = 0; j < d; ++j) {
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const Value va = data.Row(rows[a])[j];
+      const Value vb = data.Row(rows[b])[j];
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    for (size_t r = 0; r < s; ++r) {
+      ranks[static_cast<size_t>(j)][order[r]] = static_cast<double>(r);
+    }
+  }
+
+  const double mean_rank = static_cast<double>(s - 1) / 2.0;
+  double var = 0.0;  // identical for every dimension (ranks are 0..s-1)
+  for (size_t r = 0; r < s; ++r) {
+    const double dev = static_cast<double>(r) - mean_rank;
+    var += dev * dev;
+  }
+  if (var <= 0.0) return 0.0;
+
+  double sum = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      double cov = 0.0;
+      for (size_t r = 0; r < s; ++r) {
+        cov += (ranks[static_cast<size_t>(a)][r] - mean_rank) *
+               (ranks[static_cast<size_t>(b)][r] - mean_rank);
+      }
+      sum += cov / var;
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? sum / pairs : 0.0;
+}
+
+}  // namespace
+
+double StatsSketch::EstimateIntervalSelectivity(int dim, Value lo,
+                                                Value hi) const {
+  if (dim < 0 || static_cast<size_t>(dim) >= quantiles.size()) return 1.0;
+  const std::vector<Value>& q = quantiles[static_cast<size_t>(dim)];
+  if (q.empty()) return 1.0;
+  const auto first = std::lower_bound(q.begin(), q.end(), lo);
+  const auto last = std::upper_bound(q.begin(), q.end(), hi);
+  const auto inside = std::distance(first, last);
+  return inside <= 0 ? 0.0
+                     : static_cast<double>(inside) /
+                           static_cast<double>(q.size());
+}
+
+double StatsSketch::EstimateSkylineAt(double n_eff) const {
+  if (n_eff <= 1.0) return std::min(1.0, std::max(n_eff, 0.0));
+  if (n == 0) return 1.0;
+  const double scale =
+      std::pow(n_eff / static_cast<double>(n), growth_exponent);
+  return std::clamp(est_skyline * scale, 1.0, n_eff);
+}
+
+StatsSketch ComputeSketch(const Dataset& data, uint64_t seed) {
+  StatsSketch sk;
+  sk.n = data.count();
+  sk.d = data.dims();
+  sk.dims.assign(static_cast<size_t>(sk.d), DimStats{});
+  sk.quantiles.assign(static_cast<size_t>(sk.d), {});
+  if (sk.n == 0 || sk.d == 0) return sk;
+
+  // Per-dimension moments and the quantile sample, on a stride sample.
+  const std::vector<size_t> moment_rows = StrideSample(sk.n, kMomentSample);
+  for (int j = 0; j < sk.d; ++j) {
+    DimStats& ds = sk.dims[static_cast<size_t>(j)];
+    std::vector<Value>& vals = sk.quantiles[static_cast<size_t>(j)];
+    vals.reserve(moment_rows.size());
+    double sum = 0.0, sum_sq = 0.0;
+    for (const size_t row : moment_rows) {
+      const Value v = data.Row(row)[j];
+      if (std::isnan(v)) continue;  // see DimStats doc
+      vals.push_back(v);
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+    }
+    if (!vals.empty()) {
+      std::sort(vals.begin(), vals.end());
+      ds.min = vals.front();
+      ds.max = vals.back();
+      const double cnt = static_cast<double>(vals.size());
+      ds.mean = sum / cnt;
+      ds.variance = std::max(0.0, sum_sq / cnt - ds.mean * ds.mean);
+    }
+    // Thin the sorted sample to evenly spaced order statistics so the
+    // per-sketch footprint stays small even with many shards resident.
+    if (vals.size() > kQuantileKeep) {
+      std::vector<Value> kept(kQuantileKeep);
+      for (size_t i = 0; i < kQuantileKeep; ++i) {
+        kept[i] = vals[i * vals.size() / kQuantileKeep];
+      }
+      vals = std::move(kept);
+    }
+  }
+
+  sk.mean_spearman = MeanSpearman(data, StrideSample(sk.n, kSpearmanSample));
+
+  // Log-sampling cardinality estimate: exact skylines at two log-spaced
+  // sample sizes fit m(n) ~ c * n^b; extrapolate the fit to the full n.
+  // The small sample is a *prefix* of the large one, so their sampling
+  // noise is positively correlated and mostly cancels in the m_hi/m_lo
+  // ratio — two independent draws make b wildly unstable when m is
+  // small (a 5-vs-30 fluke reads as linear growth).
+  Rng rng(seed ^ 0x5ce7c4u);
+  const std::vector<size_t> hi_rows = RandomSample(sk.n, kSkylineSampleHi, rng);
+  const double n_hi = static_cast<double>(hi_rows.size());
+  const double m_hi = std::max<double>(
+      1.0, static_cast<double>(SampleSkylineSize(data, hi_rows)));
+  if (hi_rows.size() <= kSkylineSampleLo) {
+    // n is small enough that the "sample" is (nearly) the whole dataset:
+    // the sample skyline is the answer, no extrapolation needed.
+    sk.growth_exponent = 0.0;
+    sk.est_skyline = m_hi;
+    return sk;
+  }
+  const std::vector<size_t> lo_rows(hi_rows.begin(),
+                                    hi_rows.begin() + kSkylineSampleLo);
+  const double n_lo = static_cast<double>(lo_rows.size());
+  const double m_lo = std::max<double>(
+      1.0, static_cast<double>(SampleSkylineSize(data, lo_rows)));
+  sk.growth_exponent = std::clamp(
+      std::log(m_hi / m_lo) / std::log(n_hi / n_lo), 0.0, 1.0);
+  sk.est_skyline =
+      std::clamp(m_hi * std::pow(static_cast<double>(sk.n) / n_hi,
+                                 sk.growth_exponent),
+                 1.0, static_cast<double>(sk.n));
+  return sk;
+}
+
+}  // namespace sky

@@ -1,0 +1,71 @@
+// Copyright (c) SkyBench-NG contributors.
+// Dataset statistics sketch: the compact, sample-based summary the cost
+// model (query/cost_model.h) selects algorithms from. A sketch is built
+// once per dataset (and once per shard) at registration time and answers
+// three questions cheaply at plan time:
+//   shape        n, d, per-dimension min/max/mean/variance,
+//   correlation  the mean sampled Spearman rank correlation across
+//                dimension pairs (negative = anticorrelated = big
+//                skylines, positive = correlated = tiny skylines),
+//   cardinality  a log-sampling skyline estimate: exact skylines of two
+//                log-spaced subsamples fit a power law m(n) ~ c * n^b
+//                that extrapolates to the full cardinality,
+// plus a per-dimension quantile sample that estimates the selectivity of
+// a box constraint without touching the data.
+#ifndef SKY_DATA_SKETCH_H_
+#define SKY_DATA_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sky {
+
+/// Sample-based moments of one dimension. NaN coordinates are excluded
+/// (they can never satisfy a constraint nor win a dominance test).
+struct DimStats {
+  Value min = 0;
+  Value max = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+struct StatsSketch {
+  size_t n = 0;  ///< exact row count of the sketched data
+  int d = 0;     ///< exact dimensionality
+
+  std::vector<DimStats> dims;  ///< one entry per dimension
+
+  /// Mean Spearman rank correlation over all dimension pairs of a small
+  /// row sample, in [-1, 1]. 0 when d < 2 or the sample is degenerate.
+  double mean_spearman = 0.0;
+
+  /// Estimated |SKY| of the full data (log-sampling power-law fit).
+  double est_skyline = 1.0;
+
+  /// Fitted growth exponent b of m(n) ~ c * n^b, clamped to [0, 1].
+  double growth_exponent = 0.0;
+
+  /// Per-dimension sorted value sample (NaN-free) for selectivity
+  /// estimation; empty for an empty dataset.
+  std::vector<std::vector<Value>> quantiles;
+
+  /// Fraction of rows whose dimension `dim` falls in [lo, hi] (closed),
+  /// estimated from the quantile sample. Returns 1.0 when the sketch is
+  /// empty or `dim` is out of range (never prunes on ignorance).
+  double EstimateIntervalSelectivity(int dim, Value lo, Value hi) const;
+
+  /// Rescale the skyline estimate to a subset of n_eff rows using the
+  /// fitted power law. Clamped to [1, n_eff].
+  double EstimateSkylineAt(double n_eff) const;
+};
+
+/// Build the sketch of `data`. Deterministic in (data, seed); cost is
+/// O(sample) — bounded regardless of n — so it is safe to run inside
+/// every RegisterDataset / ShardMap::Build.
+StatsSketch ComputeSketch(const Dataset& data, uint64_t seed = 42);
+
+}  // namespace sky
+
+#endif  // SKY_DATA_SKETCH_H_

@@ -13,6 +13,7 @@
 #include "core/skyband.h"
 #include "core/skyline.h"
 #include "parallel/thread_pool.h"
+#include "query/cost_model.h"
 #include "query/view.h"
 
 namespace sky {
@@ -60,6 +61,17 @@ QueryResult RunOnTarget(const Dataset& target,
   if (target.count() == 0) return r;
 
   Options run_opts = opts;
+  if (run_opts.algorithm == Algorithm::kAuto) {
+    // Engine paths resolve kAuto from registration-time sketches before
+    // reaching here; this covers one-shot RunQuery callers. The target
+    // is already constraint-filtered, so a fresh sketch of it is the
+    // exact selection input (selectivity 1). Skybands run Q-Flow's
+    // block flow whatever the field says — report that truthfully.
+    run_opts.algorithm = canon.band_k == 1
+                             ? ChooseAlgorithmForDataset(target, run_opts)
+                             : Algorithm::kQFlow;
+  }
+  r.shard_algorithms.assign(1, run_opts.algorithm);
   if (opts.progressive && row_map != nullptr) {
     // Progressive ids must arrive in the caller's row space: remap each
     // confirmed batch out of the view's row numbering before forwarding.
@@ -170,14 +182,22 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     return r;
   }
   const bool identity = canon.IsIdentityTransform();
+  // Per-shard algorithm: the plan's cost-model picks when the request
+  // was kAuto, the caller's explicit choice otherwise.
+  const auto algo_of = [&](size_t s) {
+    return plan.algorithms.empty() ? opts.algorithm : plan.algorithms[s];
+  };
 
   // Single surviving shard: pruned shards hold no constraint-box row, so
-  // the shard answer is the global answer — no merge stage at all.
+  // the shard answer is the global answer — no merge stage at all. The
+  // lone shard keeps the caller's full thread budget.
   if (plan.merge == MergeStrategy::kNone) {
     const Shard& shard = map.shard(plan.shards[0]);
+    Options one_opts = opts;
+    one_opts.algorithm = algo_of(0);
     QueryResult one;
     if (identity) {
-      one = RunOnTarget(shard.data, &shard.row_ids, canon, opts);
+      one = RunOnTarget(shard.data, &shard.row_ids, canon, one_opts);
     } else {
       const std::shared_ptr<const QueryView> view =
           ViewOfShard(map, plan.shards[0], canon, provider);
@@ -185,7 +205,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       for (size_t i = 0; i < view->row_ids.size(); ++i) {
         composed[i] = shard.row_ids[view->row_ids[i]];
       }
-      one = RunOnTarget(view->data, &composed, canon, opts);
+      one = RunOnTarget(view->data, &composed, canon, one_opts);
       if (!provider) one.stats.other_seconds += view->materialize_seconds;
     }
     one.shards_executed = r.shards_executed;
@@ -194,36 +214,48 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     return one;
   }
 
-  // Execute stage: parallelism across shards (each shard sequential).
-  // Per-shard progressive callbacks are suppressed — a shard-local
+  // Execute stage. Two shapes, chosen by the planner's thread budget:
+  // parallelism across shards with each shard sequential (the default),
+  // or — when pruning left fewer shards than threads — shards in turn,
+  // each running its algorithm with intra-shard parallelism. Per-shard
+  // progressive callbacks are suppressed either way — a shard-local
   // skyline point is not a confirmed global member; the merge stage
   // streams the confirmed answer instead.
   Options shard_opts = opts;
-  shard_opts.threads = 1;
+  shard_opts.threads = plan.shard_threads;
   shard_opts.progressive = nullptr;
   const size_t n_shards = plan.shards.size();
-  const int workers = static_cast<int>(
-      std::min(n_shards, static_cast<size_t>(opts.ResolvedThreads())));
   std::vector<ShardPartial> parts(n_shards);
-  ThreadPool pool(workers);
-  pool.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
-    for (size_t s = begin; s < end; ++s) {
-      const Shard& shard = map.shard(plan.shards[s]);
-      ShardPartial& p = parts[s];
-      if (!identity) p.view = ViewOfShard(map, plan.shards[s], canon, provider);
-      const Dataset& target = identity ? shard.data : p.view->data;
-      if (target.count() == 0) continue;
-      if (canon.band_k == 1) {
-        Result run = ComputeSkyline(target, shard_opts);
-        p.stats = run.stats;
-        p.cand_rows = std::move(run.skyline);
-      } else {
-        SkybandResult run = ComputeSkyband(target, canon.band_k, shard_opts);
-        p.stats = run.stats;
-        p.cand_rows = std::move(run.skyband);
-      }
+  const auto run_shard = [&](size_t s) {
+    const Shard& shard = map.shard(plan.shards[s]);
+    ShardPartial& p = parts[s];
+    if (!identity) p.view = ViewOfShard(map, plan.shards[s], canon, provider);
+    const Dataset& target = identity ? shard.data : p.view->data;
+    if (target.count() == 0) return;
+    Options one = shard_opts;
+    one.algorithm = algo_of(s);
+    if (canon.band_k == 1) {
+      Result run = ComputeSkyline(target, one);
+      p.stats = run.stats;
+      p.cand_rows = std::move(run.skyline);
+    } else {
+      SkybandResult run = ComputeSkyband(target, canon.band_k, one);
+      p.stats = run.stats;
+      p.cand_rows = std::move(run.skyband);
     }
-  });
+  };
+  if (plan.shard_threads > 1) {
+    for (size_t s = 0; s < n_shards; ++s) run_shard(s);
+  } else {
+    const int workers = static_cast<int>(
+        std::min(n_shards, static_cast<size_t>(opts.ResolvedThreads())));
+    ThreadPool pool(workers);
+    pool.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) run_shard(s);
+    });
+  }
+  r.shard_algorithms.resize(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) r.shard_algorithms[s] = algo_of(s);
 
   int view_dims = 0;
   for (const Preference pref : canon.preferences) {
@@ -262,6 +294,9 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   std::vector<PointId> members;
   if (total > 0) {
     Options merge_opts = opts;
+    if (merge_opts.algorithm == Algorithm::kAuto) {
+      merge_opts.algorithm = plan.merge_algorithm;
+    }
     // Progressive reporting streams from the merge stage: every member
     // the merge confirms is a global member (the union contains the whole
     // answer), remapped to caller row space. Per-shard runs stay silent —
@@ -326,12 +361,13 @@ QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
 QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
                             const Options& opts) {
   const QuerySpec canon = spec.Canonicalize(map.dims());
-  return ExecuteShardedPlan(map, PlanQuery(map, canon), canon, opts);
+  return ExecuteShardedPlan(map, PlanQuery(map, canon, opts), canon, opts);
 }
 
 size_t QueryResultBytes(const QueryResult& r) {
   return sizeof(QueryResult) + r.ids.size() * sizeof(PointId) +
-         r.dominator_counts.size() * sizeof(uint32_t);
+         r.dominator_counts.size() * sizeof(uint32_t) +
+         r.shard_algorithms.size() * sizeof(Algorithm);
 }
 
 bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
@@ -405,8 +441,10 @@ SkylineEngine::SkylineEngine() : SkylineEngine(Config{}) {}
 SkylineEngine::SkylineEngine(Config config)
     : config_(config),
       cache_(config.result_cache_capacity, config.result_cache_bytes,
-             &QueryResultBytes),
-      view_cache_(config.view_cache_capacity) {}
+             &QueryResultBytes, config.result_cache_ttl),
+      view_cache_(config.view_cache_capacity, config.view_cache_bytes,
+                  &QueryViewBytes),
+      selectivity_cache_(256) {}
 
 namespace {
 
@@ -427,13 +465,15 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name,
 uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
                                         size_t shards, ShardPolicy policy) {
   auto holder = std::make_shared<const Dataset>(std::move(data));
-  // Plan stage input: the shard decomposition (with bounding boxes) is
-  // built once per registration, never per query.
+  // Plan stage inputs: the shard decomposition (with bounding boxes and
+  // per-shard sketches) and the whole-dataset sketch are built once per
+  // registration, never per query.
   std::shared_ptr<const ShardMap> map;
   if (shards > 1 && holder->count() > 1) {
     map = std::make_shared<const ShardMap>(
         ShardMap::Build(*holder, shards, policy));
   }
+  auto sketch = std::make_shared<const StatsSketch>(ComputeSketch(*holder));
   uint64_t replaced_version = 0;
   uint64_t version = 0;
   {
@@ -441,7 +481,8 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
     auto it = registry_.find(name);
     if (it != registry_.end()) replaced_version = it->second.version;
     version = next_version_++;
-    registry_[name] = Registered{std::move(holder), std::move(map), version};
+    registry_[name] = Registered{std::move(holder), std::move(map),
+                                 std::move(sketch), version};
   }
   // The old generation can never be served again (versions are never
   // reused); free its results instead of letting them squat in the LRU.
@@ -449,6 +490,7 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
     const std::string prefix = CacheKeyPrefix(name, replaced_version);
     cache_.ErasePrefix(prefix);
     view_cache_.ErasePrefix(prefix);
+    selectivity_cache_.ErasePrefix(prefix);
   }
   return version;
 }
@@ -465,6 +507,7 @@ bool SkylineEngine::EvictDataset(const std::string& name) {
   const std::string prefix = CacheKeyPrefix(name, version);
   cache_.ErasePrefix(prefix);
   view_cache_.ErasePrefix(prefix);
+  selectivity_cache_.ErasePrefix(prefix);
   return true;
 }
 
@@ -480,6 +523,13 @@ std::shared_ptr<const ShardMap> SkylineEngine::FindShards(
   std::shared_lock lock(registry_mu_);
   auto it = registry_.find(name);
   return it == registry_.end() ? nullptr : it->second.shards;
+}
+
+std::shared_ptr<const StatsSketch> SkylineEngine::FindSketch(
+    const std::string& name) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.sketch;
 }
 
 void SkylineEngine::PutResultIfCurrent(
@@ -516,6 +566,7 @@ QueryResult SkylineEngine::Execute(const std::string& name,
                                    const Options& opts) {
   std::shared_ptr<const Dataset> data;
   std::shared_ptr<const ShardMap> shards;
+  std::shared_ptr<const StatsSketch> sketch;
   uint64_t version = 0;
   {
     std::shared_lock lock(registry_mu_);
@@ -525,12 +576,19 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     }
     data = it->second.data;
     shards = it->second.shards;
+    sketch = it->second.sketch;
     version = it->second.version;
   }
 
+  // Serving-wide auto-selection overrides the caller's algorithm; the
+  // cost model then resolves per query (and per shard) below.
+  Options eff = opts;
+  if (config_.auto_algorithm) eff.algorithm = Algorithm::kAuto;
+
   // Canonicalize before keying so equivalent spellings share an entry.
-  // Sharding is invisible to the key: results are row-for-row identical
-  // for every K, so one entry serves all decompositions.
+  // Sharding and algorithm choice are invisible to the key: results are
+  // row-for-row identical for every K and every algorithm, so one entry
+  // serves all decompositions and selections.
   const QuerySpec canon = spec.Canonicalize(data->dims());
   const std::string prefix = CacheKeyPrefix(name, version);
   const std::string key = prefix + canon.CanonicalKey();
@@ -538,6 +596,35 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     QueryResult out = *hit;
     out.cache_hit = true;
     return out;
+  }
+
+  // Unsharded kAuto requests resolve here, from the registration-time
+  // sketch and the (version-keyed, cached) constraint selectivity, so
+  // RunOnTarget never has to sketch on the fly. Sharded plans resolve
+  // per shard inside PlanQuery instead.
+  if (eff.algorithm == Algorithm::kAuto &&
+      (shards == nullptr || shards->shard_count() <= 1)) {
+    SelectionContext ctx;
+    ctx.band_k = canon.band_k;
+    ctx.threads = eff.ResolvedThreads();
+    ctx.progressive = eff.progressive != nullptr;
+    ctx.selectivity = 1.0;
+    if (!canon.constraints.empty()) {
+      const std::string sel_key = prefix + "sel|" + canon.ViewKey();
+      if (std::shared_ptr<const double> sel = selectivity_cache_.Get(sel_key)) {
+        ctx.selectivity = *sel;
+      } else {
+        ctx.selectivity =
+            EstimateConstraintSelectivity(*sketch, canon.constraints);
+        // No version re-check needed (unlike PutResultIfCurrent): a
+        // stale insert is unreachable — every Get keys on the current
+        // version — and costs one 8-byte LRU slot until evicted.
+        selectivity_cache_.Put(sel_key,
+                               std::make_shared<const double>(ctx.selectivity));
+      }
+    }
+    eff.algorithm = canon.band_k == 1 ? ChooseAlgorithm(*sketch, ctx).algorithm
+                                      : Algorithm::kQFlow;
   }
 
   QueryResult fresh;
@@ -557,10 +644,10 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       }
       return view;
     };
-    fresh = ExecuteShardedPlan(*shards, PlanQuery(*shards, canon), canon,
-                               opts, provider);
+    fresh = ExecuteShardedPlan(*shards, PlanQuery(*shards, canon, eff), canon,
+                               eff, provider);
   } else if (canon.IsIdentityTransform()) {
-    fresh = RunOnTarget(*data, nullptr, canon, opts);
+    fresh = RunOnTarget(*data, nullptr, canon, eff);
   } else {
     // View reuse: specs sharing preferences/projection/constraints (same
     // ViewKey) share one materialized view, so e.g. a band_k / top-k
@@ -575,7 +662,7 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       PutViewIfCurrent(name, version, view_key, built);
       view = std::move(built);
     }
-    fresh = RunOnTarget(view->data, &view->row_ids, canon, opts);
+    fresh = RunOnTarget(view->data, &view->row_ids, canon, eff);
     fresh.stats.other_seconds += build_seconds;
     fresh.stats.total_seconds += build_seconds;
   }

@@ -5,7 +5,10 @@
 // plan -> execute -> merge pipeline:
 //
 //   plan     the planner prunes shards whose bounding boxes miss the
-//            constraint box and picks the merge strategy,
+//            constraint box, picks the merge strategy and — for
+//            Algorithm::kAuto requests — cost-selects an algorithm and
+//            thread budget per surviving shard from the
+//            registration-time StatsSketch,
 //   execute  surviving shards run per-shard skylines / k-skybands on a
 //            fork-join pool (single-shard datasets take the original
 //            unsharded fast path),
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "data/sketch.h"
 #include "query/planner.h"
 #include "query/query_spec.h"
 #include "query/result_cache.h"
@@ -43,6 +47,12 @@ struct QueryResult {
   bool cache_hit = false;   ///< true when served from the result cache
   uint32_t shards_executed = 1;  ///< shards the plan actually ran
   uint32_t shards_pruned = 0;    ///< shards skipped by box intersection
+  /// Algorithm each executed shard ran (one entry for unsharded runs) —
+  /// under kAuto, the cost model's per-shard picks. Like `stats`, a
+  /// cache hit reports the run that produced the entry. Empty for runs
+  /// on empty data. band_k > 1 reports the selection even though
+  /// ComputeSkyband's block flow ignores it.
+  std::vector<Algorithm> shard_algorithms;
   RunStats stats;           ///< stats of the run that produced the entry
 };
 
@@ -79,14 +89,27 @@ class SkylineEngine {
     /// Byte budget over cached result payloads (QueryResultBytes); 0
     /// disables the byte cap. Evicts LRU-first once exceeded.
     size_t result_cache_bytes = 0;
+    /// TTL over cached results in seconds (0 = never expire). Entries
+    /// older than this are lazily expired on Get (ttl_evictions
+    /// counter) — for refresh-heavy workloads where stale answers are
+    /// worse than recomputes.
+    double result_cache_ttl = 0.0;
     /// Max materialized views kept for reuse across specs sharing a
     /// ViewKey (0 disables view reuse). Views are dataset-sized; keep
     /// this small.
     size_t view_cache_capacity = 8;
+    /// Byte budget over cached view payloads (QueryViewBytes); 0
+    /// disables the byte cap. Views are the engine's largest cached
+    /// objects, so serving deployments should set this.
+    size_t view_cache_bytes = 0;
     /// Shards per registered dataset (1 = unsharded fast path).
     size_t shards = 1;
     /// Row-to-shard assignment policy used at registration.
     ShardPolicy shard_policy = ShardPolicy::kRoundRobin;
+    /// Serving-wide auto-selection: when true, Execute treats every
+    /// request as Algorithm::kAuto, letting the cost model pick per
+    /// query and per shard regardless of the caller's Options.
+    bool auto_algorithm = false;
   };
 
   SkylineEngine();  // default Config
@@ -117,6 +140,10 @@ class SkylineEngine {
   /// registered unsharded).
   std::shared_ptr<const ShardMap> FindShards(const std::string& name) const;
 
+  /// Registration-time statistics sketch of a registered dataset — the
+  /// cost model's whole-dataset selection input (nullptr if absent).
+  std::shared_ptr<const StatsSketch> FindSketch(const std::string& name) const;
+
   /// Registered names, sorted.
   std::vector<std::string> DatasetNames() const;
 
@@ -134,6 +161,7 @@ class SkylineEngine {
   void ClearCache() {
     cache_.Clear();
     view_cache_.Clear();
+    selectivity_cache_.Clear();
   }
   LruCache<QueryResult>::Counters cache_counters() const {
     return cache_.counters();
@@ -146,6 +174,7 @@ class SkylineEngine {
   struct Registered {
     std::shared_ptr<const Dataset> data;
     std::shared_ptr<const ShardMap> shards;  // nullptr when unsharded
+    std::shared_ptr<const StatsSketch> sketch;  // whole-dataset sketch
     uint64_t version = 0;
   };
 
@@ -168,6 +197,10 @@ class SkylineEngine {
   uint64_t next_version_ = 1;                   // guarded by registry_mu_
   LruCache<QueryResult> cache_;
   LruCache<QueryView> view_cache_;
+  /// Constraint-selectivity estimates, keyed by (dataset @ version |
+  /// constraint key) like the other caches so a re-registration's purge
+  /// invalidates them with the sketch they came from.
+  LruCache<double> selectivity_cache_;
 };
 
 }  // namespace sky

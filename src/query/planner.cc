@@ -1,6 +1,10 @@
 // Copyright (c) SkyBench-NG contributors.
 #include "query/planner.h"
 
+#include <algorithm>
+
+#include "query/cost_model.h"
+
 namespace sky {
 
 const char* MergeStrategyName(MergeStrategy strategy) {
@@ -43,6 +47,62 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon) {
   } else {
     plan.merge = canon.band_k == 1 ? MergeStrategy::kSkylineUnion
                                    : MergeStrategy::kSkybandUnion;
+  }
+  return plan;
+}
+
+ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
+                        const Options& opts) {
+  ExecutionPlan plan = PlanQuery(map, canon);
+  if (opts.algorithm != Algorithm::kAuto || plan.shards.empty()) return plan;
+
+  // Thread budget. Across-shard mode (budget 1 each, S shards in
+  // flight) finishes in ~w wall for S <= T. In-turn mode with the FULL
+  // budget per shard finishes in ~S * w / T — better exactly when
+  // S^2 <= T. Handing in-turn shards only a T/S slice would be the
+  // worst of both (S * S * w / T), so the budget is all-or-nothing.
+  const size_t survivors = plan.shards.size();
+  const int total_threads = opts.ResolvedThreads();
+  plan.shard_threads =
+      survivors * survivors <= static_cast<size_t>(total_threads)
+          ? total_threads
+          : 1;
+
+  // Per-shard selection: each shard's own sketch and its own constraint
+  // selectivity, so a dense 3k-row shard and a sparse 2M-row shard in
+  // the same plan can get different algorithms.
+  plan.algorithms.reserve(survivors);
+  double est_union = 0.0;
+  SelectionContext ctx;
+  ctx.band_k = canon.band_k;
+  ctx.threads = plan.shard_threads;
+  // Single-surviving-shard plans run with the caller's callback (and
+  // the merge stage streams for multi-shard plans), so a progressive
+  // caller needs streaming-capable picks throughout.
+  ctx.progressive = opts.progressive != nullptr;
+  for (const uint32_t s : plan.shards) {
+    const StatsSketch& sketch = map.shard(s).sketch;
+    ctx.selectivity =
+        EstimateConstraintSelectivity(sketch, canon.constraints);
+    const AlgorithmChoice choice = ChooseAlgorithm(sketch, ctx);
+    plan.algorithms.push_back(choice.algorithm);
+    est_union += choice.est_skyline;
+  }
+
+  // The merge input is the union of the per-shard partial results:
+  // size it with a synthetic sketch (the union is nearly all-skyline,
+  // so its own skyline estimate is the union itself).
+  if (plan.merge != MergeStrategy::kNone) {
+    StatsSketch union_sketch;
+    union_sketch.n = static_cast<size_t>(std::max(1.0, est_union));
+    union_sketch.d = map.dims();
+    union_sketch.est_skyline = est_union;
+    union_sketch.growth_exponent = 1.0;
+    SelectionContext merge_ctx;
+    merge_ctx.band_k = canon.band_k;
+    merge_ctx.threads = total_threads;
+    merge_ctx.progressive = ctx.progressive;
+    plan.merge_algorithm = ChooseAlgorithm(union_sketch, merge_ctx).algorithm;
   }
   return plan;
 }

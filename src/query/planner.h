@@ -1,16 +1,19 @@
 // Copyright (c) SkyBench-NG contributors.
 // Query planner: turns a canonicalized QuerySpec plus a ShardMap into an
 // ExecutionPlan — which shards must run (the rest are pruned because
-// their bounding boxes miss the constraint box), and how the per-shard
-// partial results are merged back into one answer. The executor
-// (query/engine.h) is a dumb interpreter of the plan; all pruning
-// decisions live here so tests can inspect them without running anything.
+// their bounding boxes miss the constraint box), which algorithm and
+// thread budget each surviving shard gets (cost-model selection when the
+// request is Algorithm::kAuto), and how the per-shard partial results
+// are merged back into one answer. The executor (query/engine.h) is a
+// dumb interpreter of the plan; all pruning and selection decisions live
+// here so tests can inspect them without running anything.
 #ifndef SKY_QUERY_PLANNER_H_
 #define SKY_QUERY_PLANNER_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/options.h"
 #include "query/query_spec.h"
 #include "query/shard_map.h"
 
@@ -32,6 +35,26 @@ struct ExecutionPlan {
   /// list are pruned: their bounding box does not intersect the spec's
   /// constraint box, so no row of theirs can satisfy the constraints.
   std::vector<uint32_t> shards;
+
+  /// Per-shard algorithm, parallel to `shards`. Empty means "run every
+  /// shard with the caller's Options.algorithm" — the explicit-algorithm
+  /// path, byte-for-byte the pre-selection behavior. Filled (all
+  /// concrete, never kAuto) when the request was kAuto: each shard gets
+  /// the cost model's pick for its own sketch and selectivity.
+  std::vector<Algorithm> algorithms;
+
+  /// Thread budget per executed shard. 1 = the executor parallelizes
+  /// across shards (each shard sequential). > 1 — chosen by the adaptive
+  /// planner when few shards survive a prune — makes the executor run
+  /// shards one after another, each with intra-shard parallelism, so a
+  /// lone surviving 2M-row shard still uses the whole thread budget.
+  int shard_threads = 1;
+
+  /// Algorithm of the M(S) merge stage when the request was kAuto
+  /// (explicit requests merge with their own algorithm). Sized from the
+  /// estimated candidate union.
+  Algorithm merge_algorithm = Algorithm::kBSkyTree;
+
   uint32_t pruned = 0;  ///< number of shards skipped by box intersection
   MergeStrategy merge = MergeStrategy::kNone;
 };
@@ -43,9 +66,16 @@ bool BoxIntersectsConstraints(const std::vector<Value>& lo,
                               const std::vector<Value>& hi,
                               const std::vector<DimConstraint>& constraints);
 
-/// Build the plan for `canon` (must already be canonicalized for the
-/// map's dimensionality) over `map`.
+/// Build the pruning plan for `canon` (must already be canonicalized for
+/// the map's dimensionality) over `map`. No algorithm selection: the
+/// executor runs every shard with the caller's Options.
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon);
+
+/// Adaptive variant: additionally resolves per-shard algorithms, the
+/// shard thread budget and the merge algorithm when opts.algorithm is
+/// kAuto (identical to the two-argument form otherwise).
+ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
+                        const Options& opts);
 
 }  // namespace sky
 

@@ -5,10 +5,14 @@
 // eviction never invalidates a result a reader still holds. Eviction is
 // entry-capped and, optionally, byte-capped: a SizeFn prices each value
 // and the cache evicts LRU-first until the byte budget holds again — a
-// value larger than the whole budget is simply not retained.
+// value larger than the whole budget is simply not retained. An optional
+// TTL expires entries lazily on Get, for refresh-heavy workloads where a
+// stale-but-cached answer is worse than a recompute.
 #ifndef SKY_QUERY_RESULT_CACHE_H_
 #define SKY_QUERY_RESULT_CACHE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -29,17 +33,32 @@ class LruCache {
   explicit LruCache(size_t capacity) : LruCache(capacity, 0, nullptr) {}
 
   /// `byte_capacity` == 0 disables the byte budget; `capacity` == 0
-  /// disables caching entirely.
-  LruCache(size_t capacity, size_t byte_capacity, SizeFn size_fn)
+  /// disables caching entirely; `ttl_seconds` <= 0 disables expiry.
+  LruCache(size_t capacity, size_t byte_capacity, SizeFn size_fn,
+           double ttl_seconds = 0.0)
       : capacity_(capacity),
         byte_capacity_(byte_capacity),
-        size_fn_(size_fn) {}
+        size_fn_(size_fn),
+        ttl_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(std::max(0.0, ttl_seconds)))) {}
 
-  /// Fetch and promote to most-recently-used; nullptr on miss.
+  /// Fetch and promote to most-recently-used; nullptr on miss. An entry
+  /// older than the TTL counts as a miss: it is erased here (lazy
+  /// expiry — no reaper thread) and ttl_evictions is incremented.
   std::shared_ptr<const V> Get(const std::string& key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (ttl_ != Clock::duration::zero() &&
+        Clock::now() - it->second->inserted > ttl_) {
+      bytes_ -= it->second->bytes;
+      order_.erase(it->second);
+      index_.erase(it);
+      ++ttl_evictions_;
+      ++evictions_;
       ++misses_;
       return nullptr;
     }
@@ -61,10 +80,12 @@ class LruCache {
       bytes_ -= it->second->bytes;
       it->second->value = std::move(value);
       it->second->bytes = entry_bytes;
+      it->second->inserted = Clock::now();  // a refresh restarts the TTL
       bytes_ += entry_bytes;
       order_.splice(order_.begin(), order_, it->second);
     } else {
-      order_.push_front(Entry{key, std::move(value), entry_bytes});
+      order_.push_front(
+          Entry{key, std::move(value), entry_bytes, Clock::now()});
       index_[key] = order_.begin();
       bytes_ += entry_bytes;
     }
@@ -110,8 +131,9 @@ class LruCache {
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t evictions = 0;       ///< total evictions (either cap)
+    uint64_t evictions = 0;       ///< total evictions (any cause)
     uint64_t byte_evictions = 0;  ///< evictions forced by the byte budget
+    uint64_t ttl_evictions = 0;   ///< entries lazily expired by the TTL
     size_t entries = 0;
     size_t bytes = 0;             ///< priced bytes currently resident
   };
@@ -123,6 +145,7 @@ class LruCache {
     c.misses = misses_;
     c.evictions = evictions_;
     c.byte_evictions = byte_evictions_;
+    c.ttl_evictions = ttl_evictions_;
     c.entries = order_.size();
     c.bytes = bytes_;
     return c;
@@ -132,15 +155,19 @@ class LruCache {
   size_t byte_capacity() const { return byte_capacity_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Entry {
     std::string key;
     std::shared_ptr<const V> value;
     size_t bytes = 0;
+    Clock::time_point inserted;
   };
 
   const size_t capacity_;
   const size_t byte_capacity_;
   const SizeFn size_fn_;
+  const Clock::duration ttl_;
   mutable std::mutex mu_;
   std::list<Entry> order_;  // front = most recently used
   std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
@@ -148,6 +175,7 @@ class LruCache {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t byte_evictions_ = 0;
+  uint64_t ttl_evictions_ = 0;
   size_t bytes_ = 0;
 };
 

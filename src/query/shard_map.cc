@@ -102,6 +102,9 @@ ShardMap ShardMap::Build(const Dataset& data, size_t shards,
         }
       }
     }
+    // Sketch each shard while its rows are hot: O(sample), so building
+    // K shards stays linear in n overall.
+    shard.sketch = ComputeSketch(shard.data, seed + s);
   }
   return map;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/sketch.h"
 
 namespace sky {
 
@@ -40,6 +41,9 @@ struct Shard {
   std::vector<PointId> row_ids;  ///< shard row -> original dataset row
   std::vector<Value> box_lo;     ///< per-dim minimum (+inf if all-NaN)
   std::vector<Value> box_hi;     ///< per-dim maximum (-inf if all-NaN)
+  /// Registration-time statistics of this shard's rows — the planner's
+  /// per-shard cost-model input (query/cost_model.h).
+  StatsSketch sketch;
 };
 
 /// Immutable shard decomposition of one dataset. Built once per

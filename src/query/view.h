@@ -39,6 +39,10 @@ QueryView MaterializeView(const Dataset& data, const QuerySpec& spec);
 /// first". Exposed so engine and tests share one float-exact definition.
 Value ViewRowScore(const Dataset& view, size_t row);
 
+/// Payload bytes of a materialized view (padded rows + id map) — the
+/// price the engine's byte-budgeted view cache charges per entry.
+size_t QueryViewBytes(const QueryView& view);
+
 }  // namespace sky
 
 #endif  // SKY_QUERY_VIEW_H_

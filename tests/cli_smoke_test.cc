@@ -231,6 +231,58 @@ TEST(CliSmokeTest, BadQuerySpecsFailCleanlyNotAbort) {
   }
 }
 
+TEST(CliSmokeTest, AutoAlgoSelectsPrintsDecisionAndVerifies) {
+  // --algo=auto routes through the engine; the decision line must name a
+  // concrete algorithm and the result must verify.
+  const CliResult r =
+      RunCli("--algo=auto --dist=indep --n=500 --d=4 --seed=7 --verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("auto "), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("  auto: "), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("auto: auto"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verification: OK"), std::string::npos) << r.out;
+  // The decision must be one of the model's candidates (the exact pick
+  // depends on the host's core count).
+  const bool known_pick =
+      r.out.find("auto: BSkyTree") != std::string::npos ||
+      r.out.find("auto: PSkyline") != std::string::npos ||
+      r.out.find("auto: Q-Flow") != std::string::npos ||
+      r.out.find("auto: Hybrid") != std::string::npos;
+  EXPECT_TRUE(known_pick) << r.out;
+
+  // Any spelling ParseAlgorithm accepts routes through the engine and
+  // prints the decision line too.
+  const CliResult upper =
+      RunCli("--algo=AUTO --dist=indep --n=300 --d=4 --seed=7");
+  EXPECT_EQ(upper.exit_code, 0) << upper.out;
+  EXPECT_NE(upper.out.find("  auto: "), std::string::npos) << upper.out;
+
+  // Sharded auto: one decision per executed shard, same |result| as a
+  // fixed-algorithm run of the same query.
+  const CliResult sharded = RunCli(
+      "--algo=auto --dist=indep --n=600 --d=4 --seed=7 --shards=4 "
+      "--shard-policy=median --constrain=3:0.0:0.4 --verify");
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.out;
+  EXPECT_NE(sharded.out.find("shards: policy=median"), std::string::npos)
+      << sharded.out;
+  EXPECT_NE(sharded.out.find("  auto: "), std::string::npos) << sharded.out;
+  EXPECT_NE(sharded.out.find("verification: OK"), std::string::npos)
+      << sharded.out;
+}
+
+TEST(CliSmokeTest, BadAlgoListsEveryValidName) {
+  // The --algo diagnostic must enumerate the valid vocabulary (auto
+  // included) and exit 2.
+  const CliResult r = RunCli("--algo=noexist --n=50 --d=3");
+  EXPECT_EQ(r.exit_code, 2) << r.out;
+  EXPECT_NE(r.out.find("error:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("valid:"), std::string::npos) << r.out;
+  for (const char* name : {"bnl", "pskyline", "qflow", "hybrid", "bskytree",
+                           "pbskytree", "auto"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name << "\n" << r.out;
+  }
+}
+
 TEST(CliSmokeTest, BadFlagExitsWithUsage) {
   const CliResult r = RunCli("--definitely-not-a-flag");
   EXPECT_EQ(r.exit_code, 2);

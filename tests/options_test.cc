@@ -3,6 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_registry.h"
+
 namespace sky {
 namespace {
 
@@ -22,6 +28,64 @@ TEST(Options, LowercaseAliases) {
   EXPECT_EQ(ParseAlgorithm("hybrid"), Algorithm::kHybrid);
   EXPECT_EQ(ParseAlgorithm("qflow"), Algorithm::kQFlow);
   EXPECT_EQ(ParseAlgorithm("pskyline"), Algorithm::kPSkyline);
+  EXPECT_EQ(ParseAlgorithm("bskytree-s"), Algorithm::kBSkyTreeS);
+  EXPECT_EQ(ParseAlgorithm("bskytrees"), Algorithm::kBSkyTreeS);
+  EXPECT_EQ(ParseAlgorithm("Q-Flow"), Algorithm::kQFlow);
+}
+
+TEST(Options, AutoParsesAndRoundTrips) {
+  EXPECT_EQ(ParseAlgorithm("auto"), Algorithm::kAuto);
+  EXPECT_EQ(ParseAlgorithm("AUTO"), Algorithm::kAuto);
+  EXPECT_STREQ(AlgorithmName(Algorithm::kAuto), "auto");
+  EXPECT_TRUE(IsParallelAlgorithm(Algorithm::kAuto));  // may resolve so
+  // AlphaFor is well-defined even pre-resolution (Fig. 7 default).
+  Options o;
+  EXPECT_EQ(o.AlphaFor(Algorithm::kAuto), size_t{1} << 13);
+}
+
+TEST(Options, ParseErrorListsEveryValidName) {
+  // The satellite requirement: a typo's diagnostic must enumerate the
+  // full valid vocabulary, auto included, so the CLI can surface it.
+  try {
+    ParseAlgorithm("quantum");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quantum"), std::string::npos) << msg;
+    for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+      EXPECT_NE(msg.find(desc.parse_name), std::string::npos)
+          << msg << " missing " << desc.parse_name;
+    }
+    EXPECT_NE(msg.find("auto"), std::string::npos) << msg;
+  }
+}
+
+TEST(AlgorithmRegistry, CoversEveryAlgorithmExactlyOnce) {
+  ASSERT_EQ(AlgorithmTable().size(), 14u);
+  for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+    // Each row is self-consistent and reachable through the lookup.
+    EXPECT_EQ(&GetAlgorithmDescriptor(desc.algorithm), &desc);
+    EXPECT_NE(desc.compute, nullptr);
+    EXPECT_STREQ(AlgorithmName(desc.algorithm), desc.name);
+    EXPECT_EQ(ParseAlgorithm(desc.parse_name), desc.algorithm);
+    EXPECT_EQ(ParseAlgorithm(desc.name), desc.algorithm);
+    EXPECT_EQ(IsParallelAlgorithm(desc.algorithm), desc.parallel);
+  }
+  EXPECT_THROW(GetAlgorithmDescriptor(Algorithm::kAuto),
+               std::invalid_argument);
+}
+
+TEST(AlgorithmRegistry, AutoCandidatesMatchThePaperNarrative) {
+  // Fig. 5/6: sequential BSkyTree, mid-range PSkyline, Q-Flow/Hybrid at
+  // scale — exactly the candidate set the cost model selects from.
+  std::vector<Algorithm> candidates;
+  for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+    if (desc.auto_candidate) candidates.push_back(desc.algorithm);
+  }
+  EXPECT_EQ(candidates,
+            (std::vector<Algorithm>{Algorithm::kPSkyline, Algorithm::kQFlow,
+                                    Algorithm::kHybrid,
+                                    Algorithm::kBSkyTree}));
 }
 
 TEST(Options, AlphaDefaultsFollowPaper) {

@@ -1,0 +1,288 @@
+// Copyright (c) SkyBench-NG contributors.
+// Differential and unit coverage for cost-model auto-selection:
+// Algorithm::kAuto must be row-for-row identical to every fixed
+// algorithm across distributions, shard counts/policies, constraints and
+// band depths, and the selection boundaries themselves must be
+// deterministic (tiny n => sequential pick, anticorrelated large n with
+// a thread budget => Hybrid).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_registry.h"
+#include "core/skyline.h"
+#include "data/generator.h"
+#include "data/realistic.h"
+#include "gtest/gtest.h"
+#include "query/cost_model.h"
+#include "query/engine.h"
+
+namespace sky::test {
+namespace {
+
+std::vector<std::pair<PointId, uint32_t>> SortedEntries(
+    const QueryResult& r) {
+  std::vector<std::pair<PointId, uint32_t>> out;
+  out.reserve(r.ids.size());
+  for (size_t i = 0; i < r.ids.size(); ++i) {
+    out.emplace_back(r.ids[i], r.dominator_counts[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Dataset MakeData(const std::string& dist, size_t n, int d) {
+  if (dist == "house") return GenerateHouseLike(n, /*seed=*/5);
+  return GenerateSynthetic(ParseDistribution(dist), n, d, /*seed=*/5);
+}
+
+TEST(QueryAutoselectTest, AutoMatchesEveryFixedAlgorithmEverywhere) {
+  // The full differential grid of the acceptance criteria: dist x K x
+  // policy x {unconstrained, constrained} x {skyline, 3-skyband}. Auto
+  // must agree with all 14 fixed algorithms on ids and counts.
+  const int d = 4;
+  for (const std::string dist : {"indep", "anti", "corr", "house"}) {
+    const Dataset data = MakeData(dist, 420, d);
+    const int dims = data.dims();
+    std::vector<QuerySpec> specs;
+    QuerySpec plain;
+    specs.push_back(plain);
+    QuerySpec boxed;
+    boxed.Constrain(dims - 1, 0.0f, 0.45f);
+    specs.push_back(boxed);
+    QuerySpec banded;
+    banded.band_k = 3;
+    specs.push_back(banded);
+    QuerySpec banded_boxed = boxed;
+    banded_boxed.band_k = 3;
+    specs.push_back(banded_boxed);
+
+    for (const size_t shards : {size_t{1}, size_t{4}}) {
+      for (const ShardPolicy policy :
+           {ShardPolicy::kRoundRobin, ShardPolicy::kMedianPivot}) {
+        if (shards == 1 && policy != ShardPolicy::kRoundRobin) continue;
+        SkylineEngine::Config config;
+        config.shards = shards;
+        config.shard_policy = policy;
+        SkylineEngine engine(config);
+        engine.RegisterDataset("ds", data.Clone());
+        for (const QuerySpec& spec : specs) {
+          Options auto_opts;
+          auto_opts.algorithm = Algorithm::kAuto;
+          auto_opts.threads = 2;
+          engine.ClearCache();
+          const QueryResult auto_r = engine.Execute("ds", spec, auto_opts);
+          const auto auto_entries = SortedEntries(auto_r);
+          EXPECT_FALSE(auto_r.shard_algorithms.empty());
+          for (const Algorithm chosen : auto_r.shard_algorithms) {
+            EXPECT_NE(chosen, Algorithm::kAuto);  // plan resolved it
+          }
+          for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
+            Options fixed = auto_opts;
+            fixed.algorithm = desc.algorithm;
+            engine.ClearCache();
+            const QueryResult fixed_r = engine.Execute("ds", spec, fixed);
+            EXPECT_EQ(auto_entries, SortedEntries(fixed_r))
+                << dist << " K=" << shards << " policy="
+                << ShardPolicyName(policy) << " band_k=" << spec.band_k
+                << " constrained=" << !spec.constraints.empty()
+                << " algo=" << desc.name;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryAutoselectTest, TinyDatasetPicksSequential) {
+  // Pool spin-up dwarfs the work on a few hundred rows: the model must
+  // choose the sequential candidate even with threads to burn.
+  const StatsSketch sk = ComputeSketch(
+      GenerateSynthetic(Distribution::kIndependent, 500, 4, 3));
+  SelectionContext ctx;
+  ctx.threads = 8;
+  const AlgorithmChoice choice = ChooseAlgorithm(sk, ctx);
+  EXPECT_EQ(choice.algorithm, Algorithm::kBSkyTree);
+  EXPECT_FALSE(GetAlgorithmDescriptor(choice.algorithm).parallel);
+}
+
+TEST(QueryAutoselectTest, AnticorrelatedLargePicksHybrid) {
+  // The paper's Fig. 5/6 scale regime: huge skyline, many threads.
+  StatsSketch sk;
+  sk.n = 2'000'000;
+  sk.d = 8;
+  sk.est_skyline = 60'000.0;
+  sk.growth_exponent = 0.6;
+  sk.mean_spearman = -0.8;
+  SelectionContext ctx;
+  ctx.threads = 16;
+  EXPECT_EQ(ChooseAlgorithm(sk, ctx).algorithm, Algorithm::kHybrid);
+}
+
+TEST(QueryAutoselectTest, ThreadBudgetScalesParallelCostsOnly) {
+  // The model's thread semantics: a bigger budget strictly cheapens a
+  // parallel algorithm's estimate (work divides, per-thread startup
+  // grows slower), while a sequential algorithm's estimate ignores the
+  // budget entirely.
+  StatsSketch sk;
+  sk.n = 200'000;
+  sk.d = 8;
+  sk.est_skyline = 5'000.0;
+  sk.growth_exponent = 0.5;
+  SelectionContext one;
+  one.threads = 1;
+  SelectionContext many = one;
+  many.threads = 16;
+  EXPECT_LT(EstimateAlgorithmCost(Algorithm::kHybrid, sk, many),
+            EstimateAlgorithmCost(Algorithm::kHybrid, sk, one));
+  EXPECT_LT(EstimateAlgorithmCost(Algorithm::kQFlow, sk, many),
+            EstimateAlgorithmCost(Algorithm::kQFlow, sk, one));
+  EXPECT_DOUBLE_EQ(EstimateAlgorithmCost(Algorithm::kBSkyTree, sk, one),
+                   EstimateAlgorithmCost(Algorithm::kBSkyTree, sk, many));
+}
+
+TEST(QueryAutoselectTest, SelectivityShrinksTheEffectiveInstance) {
+  // A selective box turns a parallel-scale instance into a sequential
+  // one: same sketch, selectivity 1 vs 1e-4 (~100 surviving rows).
+  StatsSketch sk;
+  sk.n = 1'000'000;
+  sk.d = 8;
+  sk.est_skyline = 30'000.0;
+  sk.growth_exponent = 0.6;
+  SelectionContext wide;
+  wide.threads = 16;
+  SelectionContext narrow = wide;
+  narrow.selectivity = 1e-4;
+  EXPECT_TRUE(
+      GetAlgorithmDescriptor(ChooseAlgorithm(sk, wide).algorithm).parallel);
+  EXPECT_FALSE(
+      GetAlgorithmDescriptor(ChooseAlgorithm(sk, narrow).algorithm).parallel);
+}
+
+TEST(QueryAutoselectTest, SkybandRequestsPickTheBlockFlowSubstrate) {
+  // band_k > 1 executes ComputeSkyband's Q-Flow block flow whatever the
+  // options say; the reported choice must match that reality.
+  const StatsSketch sk = ComputeSketch(
+      GenerateSynthetic(Distribution::kIndependent, 2'000, 4, 3));
+  SelectionContext ctx;
+  ctx.band_k = 3;
+  ctx.threads = 4;
+  const AlgorithmChoice choice = ChooseAlgorithm(sk, ctx);
+  EXPECT_TRUE(GetAlgorithmDescriptor(choice.algorithm).skyband);
+}
+
+TEST(QueryAutoselectTest, PlanResolvesPerShardAlgorithms) {
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 2'000, 4, 9);
+  const ShardMap map =
+      ShardMap::Build(data, 4, ShardPolicy::kMedianPivot);
+  QuerySpec spec;
+  spec.Constrain(0, 0.0f, 0.6f);
+  const QuerySpec canon = spec.Canonicalize(data.dims());
+  Options opts;
+  opts.algorithm = Algorithm::kAuto;
+  opts.threads = 2;
+  const ExecutionPlan plan = PlanQuery(map, canon, opts);
+  ASSERT_EQ(plan.algorithms.size(), plan.shards.size());
+  for (const Algorithm a : plan.algorithms) {
+    EXPECT_NE(a, Algorithm::kAuto);
+  }
+  EXPECT_NE(plan.merge_algorithm, Algorithm::kAuto);
+  EXPECT_GE(plan.shard_threads, 1);
+
+  // Thread budget is all-or-nothing: few enough survivors (S^2 <= T)
+  // run in turn with the FULL budget; otherwise one thread each with
+  // across-shard parallelism. A fractional slice would be the worst of
+  // both modes.
+  Options wide = opts;
+  wide.threads = 16;
+  const ExecutionPlan wide_plan = PlanQuery(map, canon, wide);
+  EXPECT_EQ(wide_plan.shard_threads,
+            wide_plan.shards.size() * wide_plan.shards.size() <= 16 ? 16 : 1);
+  QuerySpec uncon;  // all 4 shards survive; 4^2 > 2 threads
+  Options narrow;
+  narrow.algorithm = Algorithm::kAuto;
+  narrow.threads = 2;
+  const ExecutionPlan uncon_plan =
+      PlanQuery(map, uncon.Canonicalize(data.dims()), narrow);
+  EXPECT_EQ(uncon_plan.shards.size(), 4u);
+  EXPECT_EQ(uncon_plan.shard_threads, 1);
+
+  // The explicit-algorithm path must stay byte-for-byte pre-selection:
+  // no per-shard algorithms, shard budget 1.
+  Options fixed;
+  fixed.algorithm = Algorithm::kHybrid;
+  const ExecutionPlan fixed_plan = PlanQuery(map, canon, fixed);
+  EXPECT_TRUE(fixed_plan.algorithms.empty());
+  EXPECT_EQ(fixed_plan.shard_threads, 1);
+}
+
+TEST(QueryAutoselectTest, EngineConfigForcesAutoSelection) {
+  // Config::auto_algorithm overrides per-request algorithms fleet-wide;
+  // results still match a plain fixed run.
+  const Dataset data =
+      GenerateSynthetic(Distribution::kAnticorrelated, 600, 4, 17);
+  SkylineEngine::Config config;
+  config.auto_algorithm = true;
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", data.Clone());
+  Options opts;
+  opts.algorithm = Algorithm::kBnl;  // overridden by the config
+  const QueryResult r = engine.Execute("ds", QuerySpec{}, opts);
+  ASSERT_EQ(r.shard_algorithms.size(), 1u);
+  EXPECT_NE(r.shard_algorithms[0], Algorithm::kAuto);
+  EXPECT_EQ(SortedEntries(r), SortedEntries(RunQuery(data, QuerySpec{})));
+}
+
+TEST(QueryAutoselectTest, ProgressiveRequestsPickStreamingAlgorithms) {
+  // 500 rows would normally pick BSkyTree, which never streams; with a
+  // progressive callback installed the model must restrict itself to
+  // streaming-capable candidates and the batches must actually arrive.
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 500, 4, 3);
+  SkylineEngine engine;
+  engine.RegisterDataset("ds", data.Clone());
+  std::vector<PointId> streamed;
+  Options opts;
+  opts.algorithm = Algorithm::kAuto;
+  opts.threads = 2;
+  opts.progressive = [&](std::span<const PointId> ids) {
+    streamed.insert(streamed.end(), ids.begin(), ids.end());
+  };
+  const QueryResult r = engine.Execute("ds", QuerySpec{}, opts);
+  ASSERT_EQ(r.shard_algorithms.size(), 1u);
+  EXPECT_TRUE(GetAlgorithmDescriptor(r.shard_algorithms[0]).progressive);
+  std::vector<PointId> got = streamed;
+  std::vector<PointId> want = r.ids;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // Direct selection agrees: same sketch, progressive on vs off.
+  const StatsSketch sk = ComputeSketch(data);
+  SelectionContext ctx;
+  ctx.threads = 2;
+  EXPECT_FALSE(GetAlgorithmDescriptor(ChooseAlgorithm(sk, ctx).algorithm)
+                   .progressive);
+  ctx.progressive = true;
+  EXPECT_TRUE(GetAlgorithmDescriptor(ChooseAlgorithm(sk, ctx).algorithm)
+                  .progressive);
+}
+
+TEST(QueryAutoselectTest, OneShotRunQueryResolvesAuto) {
+  // RunQuery / ComputeSkyline with kAuto sketch the input on the fly and
+  // must agree with the BNL oracle.
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 800, 5, 23);
+  Options opts;
+  opts.algorithm = Algorithm::kAuto;
+  const QueryResult r = RunQuery(data, QuerySpec{}, opts);
+  ASSERT_EQ(r.shard_algorithms.size(), 1u);
+  EXPECT_NE(r.shard_algorithms[0], Algorithm::kAuto);
+  EXPECT_TRUE(VerifyQuery(data, QuerySpec{}, r));
+  const Result direct = ComputeSkyline(data, opts);
+  EXPECT_TRUE(VerifySkyline(data, direct.skyline));
+}
+
+}  // namespace
+}  // namespace sky::test

@@ -139,6 +139,67 @@ TEST(QueryEngineStressTest, ConcurrentShardedExecutionStaysExact) {
   EXPECT_NE(engine.FindShards("ds"), nullptr);
 }
 
+TEST(QueryEngineStressTest, ConcurrentAutoSelectionSurvivesSketchChurn) {
+  // Auto-selected sharded serving while a churn thread re-registers the
+  // same content (rebuilding every per-shard sketch and the dataset
+  // sketch each time, under alternating policies): every cost-model
+  // decision must resolve against a consistent registration generation
+  // and every served result must still match the unsharded answer.
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 4;  // force recomputation under load
+  config.shards = 4;
+  config.shard_policy = ShardPolicy::kMedianPivot;
+  config.auto_algorithm = true;  // fleet-wide kAuto
+  SkylineEngine engine(config);
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 1200, 4, /*seed=*/33);
+  engine.RegisterDataset("ds", data.Clone());
+
+  const std::vector<QuerySpec> specs = MixedSpecs();
+  std::vector<std::vector<PointId>> expected;
+  for (const QuerySpec& spec : specs) {
+    expected.push_back(Sorted(RunQuery(data, spec).ids));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> unresolved{0};
+  std::thread churn([&] {
+    for (int i = 0; i < 12; ++i) {
+      engine.RegisterDataset("ds", data.Clone(), 4,
+                             i % 2 ? ShardPolicy::kRoundRobin
+                                   : ShardPolicy::kMedianPivot);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 6;
+  ThreadPool pool(kThreads);
+  pool.RunOnAll([&](int worker) {
+    Options opts;
+    opts.threads = 2;  // per-query shard parallelism under contention
+    int round = 0;
+    do {
+      const size_t q =
+          (static_cast<size_t>(worker) * 5 + static_cast<size_t>(round)) %
+          specs.size();
+      const QueryResult r = engine.Execute("ds", specs[q], opts);
+      if (Sorted(r.ids) != expected[q]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const Algorithm a : r.shard_algorithms) {
+        if (a == Algorithm::kAuto) {
+          unresolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++round;
+    } while (!stop.load(std::memory_order_acquire) || round < 12);
+  });
+  churn.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(unresolved.load(), 0);
+}
+
 TEST(QueryEngineStressTest, QueriesRaceRegistrationAndEviction) {
   SkylineEngine engine;
   engine.RegisterDataset(

@@ -3,11 +3,14 @@
 // version invalidation, top-k ranking and error paths.
 #include "query/engine.h"
 
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "data/generator.h"
 #include "gtest/gtest.h"
+#include "query/view.h"
 #include "query_test_util.h"
 #include "test_util.h"
 
@@ -346,6 +349,79 @@ TEST(SkylineEngineTest, InvalidSpecSurfacesAsException) {
   QuerySpec bad;
   bad.preferences.assign(2, Preference::kIgnore);
   EXPECT_THROW(engine.Execute("ds", bad), std::runtime_error);
+}
+
+TEST(SkylineEngineTest, ViewCacheByteBudgetEvictsAndCounts) {
+  // Two views over a 600-row dataset with a budget sized for one: the
+  // second materialization must push the first out, and a budget smaller
+  // than any view retains nothing.
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 600, 4, 29);
+  QuerySpec a;
+  a.Constrain(0, 0.0f, 0.8f);
+  QuerySpec b;
+  b.Constrain(1, 0.0f, 0.8f);
+  const size_t one_view = QueryViewBytes(
+      MaterializeView(data, a.Canonicalize(data.dims())));
+
+  SkylineEngine::Config config;
+  config.view_cache_capacity = 8;  // entry cap never binds here
+  config.view_cache_bytes = one_view + one_view / 2;
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", data.Clone());
+  engine.Execute("ds", a);
+  engine.Execute("ds", b);
+  auto views = engine.view_cache_counters();
+  EXPECT_EQ(views.entries, 1u);
+  EXPECT_GE(views.byte_evictions, 1u);
+  EXPECT_LE(views.bytes, config.view_cache_bytes);
+
+  SkylineEngine::Config tiny_config;
+  tiny_config.view_cache_bytes = 16;  // smaller than any view
+  SkylineEngine tiny(tiny_config);
+  tiny.RegisterDataset("ds", data.Clone());
+  tiny.Execute("ds", a);
+  EXPECT_EQ(tiny.view_cache_counters().entries, 0u);
+}
+
+TEST(SkylineEngineTest, ResultCacheTtlExpiresLazily) {
+  SkylineEngine::Config config;
+  config.result_cache_ttl = 0.05;  // 50 ms
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", ThreeIncomparable());
+
+  EXPECT_FALSE(engine.Execute("ds", QuerySpec{}).cache_hit);
+  EXPECT_TRUE(engine.Execute("ds", QuerySpec{}).cache_hit);  // fresh
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // Expired now: Get lazily erases the entry, counts it, and recomputes.
+  EXPECT_FALSE(engine.Execute("ds", QuerySpec{}).cache_hit);
+  const auto counters = engine.cache_counters();
+  EXPECT_EQ(counters.ttl_evictions, 1u);
+  EXPECT_GE(counters.evictions, 1u);
+  // The recompute re-populated the cache; it serves again until expiry.
+  EXPECT_TRUE(engine.Execute("ds", QuerySpec{}).cache_hit);
+}
+
+TEST(SkylineEngineTest, ZeroTtlNeverExpires) {
+  SkylineEngine engine;  // default config: TTL off
+  engine.RegisterDataset("ds", ThreeIncomparable());
+  engine.Execute("ds", QuerySpec{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(engine.Execute("ds", QuerySpec{}).cache_hit);
+  EXPECT_EQ(engine.cache_counters().ttl_evictions, 0u);
+}
+
+TEST(SkylineEngineTest, FindSketchTracksRegistration) {
+  SkylineEngine engine;
+  EXPECT_EQ(engine.FindSketch("ds"), nullptr);
+  engine.RegisterDataset(
+      "ds", GenerateSynthetic(Distribution::kIndependent, 500, 4, 31));
+  const std::shared_ptr<const StatsSketch> sketch = engine.FindSketch("ds");
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_EQ(sketch->n, 500u);
+  EXPECT_EQ(sketch->d, 4);
+  engine.EvictDataset("ds");
+  EXPECT_EQ(engine.FindSketch("ds"), nullptr);
 }
 
 }  // namespace

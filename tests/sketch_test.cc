@@ -1,0 +1,121 @@
+// Copyright (c) SkyBench-NG contributors.
+// Deterministic unit tests for the dataset statistics sketch: moments,
+// correlation sign, the log-sampling skyline estimate, and the
+// quantile-based selectivity estimator.
+#include "data/sketch.h"
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "gtest/gtest.h"
+
+namespace sky::test {
+namespace {
+
+Dataset Grid2D(size_t n, bool anticorrelated) {
+  std::vector<Value> vals;
+  vals.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    const Value x = static_cast<Value>(i) / static_cast<Value>(n);
+    vals.push_back(x);
+    vals.push_back(anticorrelated ? 1.0f - x : x);
+  }
+  return Dataset::FromRowMajor(2, vals);
+}
+
+TEST(SketchTest, MomentsMatchSmallDataset) {
+  // n below every sample cap: the sketch sees all rows, so min/max are
+  // exact and mean/variance match the closed forms.
+  const Dataset data = Grid2D(100, /*anticorrelated=*/false);
+  const StatsSketch sk = ComputeSketch(data);
+  ASSERT_EQ(sk.n, 100u);
+  ASSERT_EQ(sk.d, 2);
+  ASSERT_EQ(sk.dims.size(), 2u);
+  EXPECT_FLOAT_EQ(sk.dims[0].min, 0.0f);
+  EXPECT_FLOAT_EQ(sk.dims[0].max, 0.99f);
+  EXPECT_NEAR(sk.dims[0].mean, 0.495, 1e-5);
+  // Var of uniform {0, .01, ..., .99}: (k^2-1)/12 * step^2, k=100.
+  EXPECT_NEAR(sk.dims[0].variance, (100.0 * 100.0 - 1.0) / 12.0 * 1e-4, 1e-4);
+}
+
+TEST(SketchTest, SpearmanSignTracksCorrelation) {
+  const StatsSketch corr =
+      ComputeSketch(Grid2D(500, /*anticorrelated=*/false));
+  const StatsSketch anti = ComputeSketch(Grid2D(500, /*anticorrelated=*/true));
+  EXPECT_GT(corr.mean_spearman, 0.95);
+  EXPECT_LT(anti.mean_spearman, -0.95);
+}
+
+TEST(SketchTest, SkylineEstimateExactWhenSampleCoversData) {
+  // Perfectly anticorrelated 2-d data: every point is on the skyline.
+  const Dataset anti = Grid2D(400, /*anticorrelated=*/true);
+  const StatsSketch sk = ComputeSketch(anti);
+  EXPECT_DOUBLE_EQ(sk.est_skyline, 400.0);
+  // Perfectly correlated: only the origin survives.
+  const StatsSketch corr = ComputeSketch(Grid2D(400, false));
+  EXPECT_DOUBLE_EQ(corr.est_skyline, 1.0);
+}
+
+TEST(SketchTest, SkylineEstimateOrdersDistributions) {
+  const size_t n = 20'000;  // large enough to force extrapolation
+  const int d = 6;
+  const StatsSketch anti = ComputeSketch(
+      GenerateSynthetic(Distribution::kAnticorrelated, n, d, 7));
+  const StatsSketch indep =
+      ComputeSketch(GenerateSynthetic(Distribution::kIndependent, n, d, 7));
+  const StatsSketch corr =
+      ComputeSketch(GenerateSynthetic(Distribution::kCorrelated, n, d, 7));
+  EXPECT_GT(anti.est_skyline, indep.est_skyline);
+  EXPECT_GT(indep.est_skyline, corr.est_skyline);
+  for (const StatsSketch* sk : {&anti, &indep, &corr}) {
+    EXPECT_GE(sk->est_skyline, 1.0);
+    EXPECT_LE(sk->est_skyline, static_cast<double>(n));
+    EXPECT_GE(sk->growth_exponent, 0.0);
+    EXPECT_LE(sk->growth_exponent, 1.0);
+  }
+}
+
+TEST(SketchTest, EstimateSkylineAtIsMonotoneAndClamped) {
+  const StatsSketch sk = ComputeSketch(
+      GenerateSynthetic(Distribution::kIndependent, 20'000, 5, 3));
+  EXPECT_LE(sk.EstimateSkylineAt(1'000), sk.EstimateSkylineAt(10'000));
+  EXPECT_LE(sk.EstimateSkylineAt(10'000), sk.EstimateSkylineAt(20'000));
+  EXPECT_GE(sk.EstimateSkylineAt(0.0), 0.0);
+  EXPECT_LE(sk.EstimateSkylineAt(2.0), 2.0);
+}
+
+TEST(SketchTest, SelectivityEstimatorTracksUniformIntervals) {
+  const Dataset data =
+      GenerateSynthetic(Distribution::kIndependent, 8'000, 4, 11);
+  const StatsSketch sk = ComputeSketch(data);
+  EXPECT_NEAR(sk.EstimateIntervalSelectivity(0, 0.0f, 1.0f), 1.0, 0.01);
+  EXPECT_NEAR(sk.EstimateIntervalSelectivity(1, 0.0f, 0.5f), 0.5, 0.1);
+  EXPECT_NEAR(sk.EstimateIntervalSelectivity(2, 0.25f, 0.75f), 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(sk.EstimateIntervalSelectivity(3, 2.0f, 3.0f), 0.0);
+  // Out-of-range dimensions never prune.
+  EXPECT_DOUBLE_EQ(sk.EstimateIntervalSelectivity(99, 0.0f, 0.1f), 1.0);
+}
+
+TEST(SketchTest, DeterministicInSeed) {
+  const Dataset data =
+      GenerateSynthetic(Distribution::kAnticorrelated, 10'000, 5, 13);
+  const StatsSketch a = ComputeSketch(data, 42);
+  const StatsSketch b = ComputeSketch(data, 42);
+  EXPECT_DOUBLE_EQ(a.est_skyline, b.est_skyline);
+  EXPECT_DOUBLE_EQ(a.mean_spearman, b.mean_spearman);
+  EXPECT_DOUBLE_EQ(a.growth_exponent, b.growth_exponent);
+}
+
+TEST(SketchTest, EmptyAndTinyDatasets) {
+  const StatsSketch empty = ComputeSketch(Dataset(3, 0));
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.EstimateIntervalSelectivity(0, 0.0f, 1.0f), 1.0);
+  EXPECT_DOUBLE_EQ(empty.EstimateSkylineAt(0.0), 0.0);
+
+  const StatsSketch one = ComputeSketch(Grid2D(1, false));
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.est_skyline, 1.0);
+}
+
+}  // namespace
+}  // namespace sky::test

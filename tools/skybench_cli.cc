@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/version.h"
+#include "core/algorithm_registry.h"
 #include "core/skyline.h"
 #include "data/generator.h"
 #include "data/realistic.h"
@@ -78,6 +79,7 @@ struct CliArgs {
       "usage: skybench [options]\n"
       "  --algo=NAME      bnl|sfs|less|salsa|sskyline|pskyline|psfs|qflow|\n"
       "                   hybrid|bskytree|pbskytree|all      (default hybrid)\n"
+      "                   auto = cost-model selection per query and shard\n"
       "  --dist=NAME      corr|indep|anti|nba|house|weather  (default indep)\n"
       "  --n=N --d=D      generated workload size             (1e5 x 8)\n"
       "  --input=PATH     load CSV or binary snapshot instead of generating\n"
@@ -273,6 +275,14 @@ void RunQueryOne(SkylineEngine& engine, const Dataset& data, Algorithm algo,
     std::printf("  shards: policy=%s executed=%u pruned=%u\n",
                 a.shard_policy.c_str(), r.shards_executed, r.shards_pruned);
   }
+  if (algo == Algorithm::kAuto) {
+    // The cost model's decision, one entry per executed shard.
+    std::printf("  auto:");
+    for (const Algorithm chosen : r.shard_algorithms) {
+      std::printf(" %s", AlgorithmName(chosen));
+    }
+    std::printf("\n");
+  }
   if (a.stats) std::printf("  %s\n", r.stats.ToString().c_str());
   if (a.verify) {
     if (VerifyQuery(data, spec, r)) {
@@ -307,19 +317,23 @@ int main(int argc, char** argv) try {
   // a typo fails fast.
   std::vector<sky::Algorithm> algos;
   if (args.algo == "all") {
-    for (const char* name :
-         {"bnl", "sfs", "less", "salsa", "sskyline", "pskyline",
-          "apskyline", "psfs",
-          "qflow", "hybrid", "bskytree", "bskytree-s", "osp",
-          "pbskytree"}) {
-      algos.push_back(sky::ParseAlgorithm(name));
+    // Sweep the whole registry: a new algorithm row joins --algo=all
+    // (and its verify coverage) automatically.
+    for (const sky::AlgorithmDescriptor& desc : sky::AlgorithmTable()) {
+      algos.push_back(desc.algorithm);
     }
   } else {
     algos.push_back(sky::ParseAlgorithm(args.algo));
   }
   sky::Dataset data = sky::LoadData(args);
   std::printf("dataset: n=%zu d=%d\n", data.count(), data.dims());
-  if (args.UsesQueryEngine()) {
+  // --algo=auto (any spelling ParseAlgorithm accepts) routes through
+  // the engine too: selection happens at plan time from
+  // registration-time sketches, and the per-shard decisions are
+  // reported on the result.
+  const bool auto_algo =
+      algos.size() == 1 && algos[0] == sky::Algorithm::kAuto;
+  if (args.UsesQueryEngine() || auto_algo) {
     // Route through the serving layer: register once (padded rows and the
     // shard decomposition built at load), then execute against the
     // registered dataset.
