@@ -2,12 +2,17 @@
 // google-benchmark microbenchmarks for the dominance-test kernels — the
 // primitive whose cost every skyline algorithm multiplies (paper §IV-A).
 // Covers scalar vs AVX2, the dimensionality sweep of the paper's
-// experiments, and the two extreme control-flow cases (early-exit on a
-// dominating pair vs full scan on incomparable pairs).
+// experiments, the two extreme control-flow cases (early-exit on a
+// dominating pair vs full scan on incomparable pairs), and the batched
+// tile kernels (one-vs-8 and the many-vs-many window filter) against
+// the one-vs-one paths they replace.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "common/random.h"
 #include "data/dataset.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 
 namespace sky {
@@ -90,6 +95,130 @@ void BM_PartitionMask(benchmark::State& state) {
 BENCHMARK(BM_PartitionMask)
     ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
     ->ArgNames({"d", "simd"});
+
+// Equal is called by the SkyTree family and M(S) after a full partition
+// mask, i.e. mostly on coincident or near-coincident rows — the
+// `coincident` axis covers that case (where the vector kernel's d/8
+// full-row compare wins) and the random case (where scalar's first-lane
+// early exit wins).
+void BM_Equal(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  const bool coincident = state.range(2) != 0;
+  Dataset data = RandomData(d, 4096, 17);
+  if (coincident) {
+    for (size_t i = 0; i + 3 < data.count(); ++i) {
+      for (int j = 0; j < d; ++j) {
+        data.MutableRow(i + 3)[j] = data.Row(i)[j];
+      }
+    }
+  }
+  DomCtx dom(d, data.stride(), simd);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.Equal(data.Row(i & 4095), data.Row((i + 3) & 4095)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Equal)
+    ->ArgsProduct({{4, 8, 16}, {0, 1}, {0, 1}})
+    ->ArgNames({"d", "simd", "coincident"});
+
+// One candidate vs one 8-point SoA tile: the batched unit of work,
+// directly comparable with 8 iterations of BM_Dominates.
+void BM_TileDominates(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const bool simd = state.range(1) != 0;
+  Dataset data = RandomData(d, 4096, 19);
+  TileBlock tiles(d, 4096);
+  tiles.AppendRows(data.Row(0), data.stride(), 4096);
+  DomCtx dom(d, data.stride(), simd);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.TileDominates(data.Row(i & 4095), tiles.Tile(i & 511),
+                          kFullLaneMask));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdWidth);
+}
+BENCHMARK(BM_TileDominates)
+    ->ArgsProduct({{4, 8, 12, 16}, {0, 1}})
+    ->ArgNames({"d", "simd"});
+
+// One candidate scanned against a window until its first dominator (the
+// exact Phase-I shape) — one-vs-one AVX2 loop vs the batched tile scan.
+// items_processed counts the dominance tests actually performed, so the
+// reported items/s is directly the tests/s throughput the acceptance
+// criterion compares.
+void BM_WindowScanOneVsOne(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const size_t window = static_cast<size_t>(state.range(1));
+  Dataset data = RandomData(d, window, 23);
+  Dataset cands = RandomData(d, window, 29);
+  DomCtx dom(d, data.stride(), /*use_simd=*/true);
+  size_t i = 0;
+  uint64_t dts = 0;
+  for (auto _ : state) {
+    const Value* q = cands.Row(i % window);
+    for (size_t s = 0; s < window; ++s) {
+      ++dts;
+      if (dom.Dominates(data.Row(s), q)) break;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(dts));
+}
+BENCHMARK(BM_WindowScanOneVsOne)
+    ->ArgsProduct({{4, 8, 12, 16}, {4096}})
+    ->ArgNames({"d", "window"});
+
+void BM_WindowScanBatched(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const size_t window = static_cast<size_t>(state.range(1));
+  Dataset data = RandomData(d, window, 23);
+  Dataset cands = RandomData(d, window, 29);
+  TileBlock tiles(d, window);
+  tiles.AppendRows(data.Row(0), data.stride(), window);
+  DomCtx dom(d, data.stride(), /*use_simd=*/true);
+  size_t i = 0;
+  uint64_t dts = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dom.DominatedByAny(cands.Row(i % window), tiles, window, &dts));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(dts));
+}
+BENCHMARK(BM_WindowScanBatched)
+    ->ArgsProduct({{4, 8, 12, 16}, {4096}})
+    ->ArgNames({"d", "window"});
+
+// The many-vs-many entry point as the hot consumers use it: a block of
+// candidates filtered against the window with cache-blocked tile chunks.
+void BM_FilterTile(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const size_t window = 4096;
+  const size_t cands = 512;
+  Dataset wdata = RandomData(d, window, 29);
+  Dataset cdata = RandomData(d, cands, 31);
+  TileBlock tiles(d, window);
+  tiles.AppendRows(wdata.Row(0), wdata.stride(), window);
+  DomCtx dom(d, wdata.stride(), /*use_simd=*/true);
+  std::vector<uint8_t> flags(cands);
+  for (auto _ : state) {
+    std::fill(flags.begin(), flags.end(), uint8_t{0});
+    benchmark::DoNotOptimize(
+        dom.FilterTile(cdata.Row(0), cands, tiles, flags.data(), nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cands));
+}
+BENCHMARK(BM_FilterTile)
+    ->ArgsProduct({{4, 8, 12, 16}})
+    ->ArgNames({"d"});
 
 }  // namespace
 }  // namespace sky

@@ -1,0 +1,215 @@
+// Copyright (c) SkyBench-NG contributors.
+// Perf smoke: a fixed, small (distribution x n x d) grid plus dominance
+// kernel micro-measurements, emitted as machine-readable JSON so CI
+// finally records a perf trajectory (BENCH_perf_smoke.json). Each entry
+// carries {name, ns_per_op, dom_tests_per_s}. With --check the run also
+// gates the batched-kernel win: at d <= 8 the one-vs-many tile scan must
+// deliver >= 2x the dominance-test throughput of the one-vs-one AVX2
+// kernel (skipped when the host lacks AVX2 — there is nothing to gate).
+//
+//   perf_smoke [--out=PATH] [--check]
+//
+// Wall-clock entries are medians of --repeats runs (default 3); kernel
+// entries auto-calibrate to ~0.2s of work. Numbers are only comparable
+// on the same host, which is exactly what a CI trajectory needs.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "dominance/batch.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+namespace {
+
+struct Entry {
+  std::string name;
+  double ns_per_op = 0.0;        // wall time per unit of work
+  double dom_tests_per_s = 0.0;  // dominance tests per second
+};
+
+Dataset RandomData(int d, size_t n, uint64_t seed) {
+  Dataset data(d, n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data.MutableRow(i)[j] = rng.NextFloat();
+  }
+  return data;
+}
+
+/// Time `body`, which performs one window-scan repetition and returns
+/// the number of dominance tests it executed; auto-calibrates the
+/// repetition count to ~0.2s and reports per-test throughput.
+template <typename Fn>
+Entry TimeScan(const std::string& name, Fn&& body) {
+  body();  // warm up
+  WallTimer cal;
+  body();
+  const double once = std::max(cal.Seconds(), 1e-9);
+  const int reps = std::max(1, static_cast<int>(0.2 / once));
+  WallTimer timer;
+  uint64_t dts = 0;
+  for (int r = 0; r < reps; ++r) dts += body();
+  const double elapsed = std::max(timer.Seconds(), 1e-12);
+  const double ops = static_cast<double>(std::max<uint64_t>(dts, 1));
+  return {name, elapsed / ops * 1e9, ops / elapsed};
+}
+
+/// One-vs-one vs batched window-scan throughput at dimensionality d:
+/// the exact Phase-I shape (each candidate scans the window until its
+/// first dominator), counting the dominance tests actually performed.
+std::pair<Entry, Entry> KernelPair(int d) {
+  constexpr size_t kWindow = 4096;
+  constexpr size_t kCands = 512;
+  Dataset window = RandomData(d, kWindow, 7);
+  Dataset cands = RandomData(d, kCands, 11);
+  TileBlock tiles(d, kWindow);
+  tiles.AppendRows(window.Row(0), window.stride(), kWindow);
+  DomCtx dom(d, window.stride(), /*use_simd=*/true);
+  const std::string suffix = "/d=" + std::to_string(d);
+  Entry one = TimeScan("kernel/one_vs_one_avx2" + suffix, [&]() -> uint64_t {
+    uint64_t dts = 0;
+    for (size_t c = 0; c < kCands; ++c) {
+      const Value* q = cands.Row(c);
+      for (size_t s = 0; s < kWindow; ++s) {
+        ++dts;
+        if (dom.Dominates(window.Row(s), q)) break;
+      }
+    }
+    return dts;
+  });
+  Entry batched = TimeScan("kernel/batched_tile" + suffix,
+                           [&]() -> uint64_t {
+                             uint64_t dts = 0;
+                             for (size_t c = 0; c < kCands; ++c) {
+                               dom.DominatedByAny(cands.Row(c), tiles,
+                                                  kWindow, &dts);
+                             }
+                             return dts;
+                           });
+  return {one, batched};
+}
+
+/// Median-of-repeats wall clock for one algorithm cell of the fixed
+/// grid, with dominance-test counting on.
+Entry AlgoCell(Algorithm algo, Distribution dist, const char* dist_name,
+               size_t n, int d, int repeats) {
+  WorkloadSpec spec{dist, n, d, 42};
+  const Dataset& data = WorkloadCache::Instance().Get(spec);
+  Options o;
+  o.algorithm = algo;
+  o.threads = 1;
+  o.count_dts = true;
+  const RunStats st = RunTimed(data, o, repeats, /*verify=*/false).stats;
+  char name[128];
+  std::snprintf(name, sizeof(name), "%s/%s/n=%zu/d=%d",
+                AlgorithmName(algo), dist_name, n, d);
+  const double secs = std::max(st.total_seconds, 1e-12);
+  return {name, secs * 1e9,
+          static_cast<double>(st.dominance_tests) / secs};
+}
+
+void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"skybench-perf-smoke-v1\",\n");
+  std::fprintf(f, "  \"avx2\": %s,\n", CpuHasAvx2() ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"dom_tests_per_s\": %.3e}%s\n",
+                 entries[i].name.c_str(), entries[i].ns_per_op,
+                 entries[i].dom_tests_per_s,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  std::string out = "BENCH_perf_smoke.json";
+  bool check = false;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      repeats = std::max(1, std::atoi(argv[i] + 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_smoke [--out=PATH] [--check] "
+                   "[--repeats=R]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Entry> entries;
+  bool gate_ok = true;
+
+  // ---- Kernel micro: one-vs-one AVX2 vs batched tile scan.
+  for (const int d : {4, 8, 16}) {
+    const auto [one, batched] = KernelPair(d);
+    entries.push_back(one);
+    entries.push_back(batched);
+    const double ratio = batched.dom_tests_per_s / one.dom_tests_per_s;
+    std::printf("%-32s %10.1f ns/op  %10.3e tests/s\n", one.name.c_str(),
+                one.ns_per_op, one.dom_tests_per_s);
+    std::printf("%-32s %10.1f ns/op  %10.3e tests/s  (%.2fx)\n",
+                batched.name.c_str(), batched.ns_per_op,
+                batched.dom_tests_per_s, ratio);
+    if (check && CpuHasAvx2() && d <= 8 && ratio < 2.0) {
+      std::fprintf(stderr,
+                   "perf_smoke: GATE FAILED at d=%d: batched kernel "
+                   "%.2fx one-vs-one (need >= 2x)\n",
+                   d, ratio);
+      gate_ok = false;
+    }
+  }
+
+  // ---- Fixed algorithm grid (fig12/fig13-flavoured Hybrid cells plus a
+  // Q-Flow reference), small enough for CI, large enough that the
+  // window scans dominate.
+  struct Cell {
+    Algorithm algo;
+    Distribution dist;
+    const char* dist_name;
+    size_t n;
+    int d;
+  };
+  const Cell cells[] = {
+      {Algorithm::kHybrid, Distribution::kIndependent, "indep", 20000, 4},
+      {Algorithm::kHybrid, Distribution::kIndependent, "indep", 20000, 8},
+      {Algorithm::kHybrid, Distribution::kAnticorrelated, "anti", 20000, 8},
+      {Algorithm::kHybrid, Distribution::kIndependent, "indep", 50000, 8},
+      {Algorithm::kQFlow, Distribution::kAnticorrelated, "anti", 20000, 8},
+  };
+  for (const Cell& c : cells) {
+    entries.push_back(
+        AlgoCell(c.algo, c.dist, c.dist_name, c.n, c.d, repeats));
+    const Entry& e = entries.back();
+    std::printf("%-32s %10.0f ns/op  %10.3e tests/s\n", e.name.c_str(),
+                e.ns_per_op, e.dom_tests_per_s);
+  }
+
+  WriteJson(out, entries);
+  std::printf("perf_smoke: wrote %zu entries to %s\n", entries.size(),
+              out.c_str());
+  if (!gate_ok) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) { return sky::Main(argc, argv); }

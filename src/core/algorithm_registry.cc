@@ -45,6 +45,12 @@ Result OspCompute(const Dataset& data, const Options& opts) {
 //     measurably faster than BSkyTree even at t=1 once n·m is large),
 //     at the price of the family's biggest fixed startup — and its
 //     high parallel fraction stretches the lead as threads arrive.
+// Q-Flow's and Hybrid's per_cmp coefficients were re-calibrated for the
+// batched tile kernels (dominance/batch.h): their window scans now run
+// 8 points per compare, roughly halving effective per-comparison cost
+// versus the one-vs-one AVX2 measurements the original constants
+// encoded, and widening their lead over the non-batched candidates
+// (PSkyline/BSkyTree keep one-vs-one inner loops and their constants).
 // Only auto-candidates need faithful coefficients; the rest carry
 // rough values for completeness.
 constexpr AlgorithmDescriptor kTable[] = {
@@ -75,10 +81,10 @@ constexpr AlgorithmDescriptor kTable[] = {
      {8'000, 20'000, 8, 1.10, 1.00, 0.5, 0.85}},
     {Algorithm::kQFlow, "Q-Flow", "qflow", &QFlowCompute,
      true, true, true, true,
-     {10'000, 25'000, 9, 0.22, 1.30, 0.2, 0.93}},
+     {10'000, 25'000, 9, 0.11, 1.30, 0.2, 0.93}},
     {Algorithm::kHybrid, "Hybrid", "hybrid", &HybridCompute,
      true, true, false, true,
-     {500'000, 150'000, 8, 0.22, 1.10, 0.05, 0.95}},
+     {500'000, 150'000, 8, 0.11, 1.10, 0.05, 0.95}},
     {Algorithm::kBSkyTree, "BSkyTree", "bskytree", &BSkyTreeCompute,
      false, false, false, true,
      {2'000, 0, 20, 0.25, 1.10, 0.05, 0.0}},

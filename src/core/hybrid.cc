@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 
 #include "common/bits.h"
 #include "common/stats.h"
@@ -11,6 +12,7 @@
 #include "data/prefilter.h"
 #include "data/sorting.h"
 #include "data/working_set.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
 
@@ -60,6 +62,58 @@ bool DominatedByPeer(const WorkingSet& ws, size_t block_begin, size_t me,
   return false;
 }
 
+/// Batched compareToPeers: identical decomposition to DominatedByPeer,
+/// but the three predecessor runs are resolved from per-block run-start
+/// tables (the block is sorted by composite (level, mask) key, so the
+/// lower-level run is exactly [0, level_start[me]) and the same-partition
+/// run is [mask_start[me], me)), and each run is scanned 8 peers per
+/// compare over the block's SoA tiles.
+bool DominatedByPeerBatched(const WorkingSet& ws, size_t block_begin,
+                            size_t me, const DomCtx& dom,
+                            const TileBlock& tiles,
+                            const std::vector<uint32_t>& level_start,
+                            const std::vector<uint32_t>& mask_start,
+                            std::vector<uint8_t>& flags, uint64_t* dts,
+                            uint64_t* skips) {
+  const Value* q = ws.Row(block_begin + me);
+  const Mask my_mask = ws.masks[block_begin + me];
+  const size_t i1 = level_start[me];
+  const size_t i2 = mask_start[me];
+  // Run 1: strictly lower levels — pruned peers skipped (same benign
+  // stale-flag race as the scalar path), survivors mask-filtered 8 at a
+  // time, comparable lanes tested with one tile kernel.
+  for (size_t g = 0; g * kSimdWidth < i1; ++g) {
+    const size_t row0 = g * kSimdWidth;
+    const size_t hi = std::min<size_t>(kSimdWidth, i1 - row0);
+    uint32_t unpruned = 0;
+    for (size_t l = 0; l < hi; ++l) {
+      if (std::atomic_ref<uint8_t>(flags[row0 + l])
+              .load(std::memory_order_relaxed) == 0) {
+        unpruned |= 1u << l;
+      }
+    }
+    if (ProbeMaskedTile(dom, q, tiles.Tile(g),
+                        ws.masks.data() + block_begin + row0,
+                        ws.masks.size() - (block_begin + row0), my_mask,
+                        unpruned, ws.Row(block_begin + row0),
+                        static_cast<size_t>(ws.stride), dts, skips)) {
+      return true;
+    }
+  }
+  // Run 2: same level, different mask — provably incomparable, skipped.
+  // Run 3: same partition — unconditional tests.
+  for (size_t g = i2 / kSimdWidth; g * kSimdWidth < me; ++g) {
+    const size_t row0 = g * kSimdWidth;
+    const size_t lo = row0 < i2 ? i2 - row0 : 0;
+    const size_t hi = std::min<size_t>(kSimdWidth, me - row0);
+    const uint32_t range = LaneMaskRange(lo, hi);
+    if (range == 0) continue;
+    *dts += std::popcount(range);
+    if (dom.TileDominates(q, tiles.Tile(g), range) != 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result HybridCompute(const Dataset& data, const Options& opts) {
@@ -69,7 +123,7 @@ Result HybridCompute(const Dataset& data, const Options& opts) {
 
   WallTimer total;
   ThreadPool pool(opts.ResolvedThreads());
-  DomCtx dom(data.dims(), data.stride(), opts.use_simd);
+  DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
   DtCounter counter(opts.count_dts);
   DtCounter* counter_ptr = opts.count_dts ? &counter : nullptr;
 
@@ -106,6 +160,15 @@ Result HybridCompute(const Dataset& data, const Options& opts) {
   SkyStructure sky(dims, ws.stride, ws.count);
   std::vector<uint8_t> flags(std::min(alpha, ws.count));
 
+  // Batch-mode Phase II state, rebuilt per block: SoA tiles over the
+  // block's Phase-I survivors plus the run-start tables that replace
+  // DominatedByPeer's per-candidate predecessor scans.
+  const bool batch = dom.batch();
+  TileBlock peer_tiles;
+  std::vector<uint32_t> level_start;
+  std::vector<uint32_t> mask_start;
+  if (batch) peer_tiles.Reset(dims, std::min(alpha, ws.count));
+
   for (size_t b = 0; b < ws.count; b += alpha) {
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
@@ -132,10 +195,34 @@ Result HybridCompute(const Dataset& data, const Options& opts) {
     // ---- Phase II: survivors vs. preceding in-block survivors
     // (Algorithm 4).
     std::fill_n(flags.begin(), survivors, uint8_t{0});
+    if (batch) {
+      peer_tiles.Clear();
+      peer_tiles.AppendRows(ws.Row(b), ws.stride, survivors);
+      level_start.resize(survivors);
+      mask_start.resize(survivors);
+      for (size_t i = 0; i < survivors; ++i) {
+        if (i == 0) {
+          level_start[0] = mask_start[0] = 0;
+          continue;
+        }
+        const Mask m = ws.masks[b + i];
+        const Mask pm = ws.masks[b + i - 1];
+        mask_start[i] = m == pm ? mask_start[i - 1]
+                                : static_cast<uint32_t>(i);
+        level_start[i] = MaskLevel(m) == MaskLevel(pm)
+                             ? level_start[i - 1]
+                             : static_cast<uint32_t>(i);
+      }
+    }
     pool.ParallelFor(survivors, kPhaseGrain, [&](size_t lo, size_t hi) {
       uint64_t dts = 0, skips = 0;
       for (size_t k = lo; k < hi; ++k) {
-        if (DominatedByPeer(ws, b, k, dom, flags, &dts, &skips)) {
+        const bool dominated =
+            batch ? DominatedByPeerBatched(ws, b, k, dom, peer_tiles,
+                                           level_start, mask_start, flags,
+                                           &dts, &skips)
+                  : DominatedByPeer(ws, b, k, dom, flags, &dts, &skips);
+        if (dominated) {
           std::atomic_ref<uint8_t>(flags[k]).store(
               1, std::memory_order_relaxed);
         }

@@ -73,6 +73,13 @@ struct Options {
   /// Use the AVX2 dominance kernels when the CPU supports them.
   bool use_simd = true;
 
+  /// Route the hot window scans through the batched SoA tile kernels
+  /// (dominance/batch.h): one candidate vs 8 window points per compare,
+  /// cache-blocked over the window. Honored by Q-Flow, Hybrid (M(S) and
+  /// peer scans) and the sharded merge; off restores the one-vs-one
+  /// paths for ablation.
+  bool use_batch = true;
+
   /// Collect dominance-test counters (small overhead).
   bool count_dts = false;
 

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "data/sorting.h"
 #include "data/working_set.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
 
@@ -18,6 +19,14 @@ namespace {
 /// the highly skewed per-point cost (dominated points abort their scan
 /// almost immediately), large enough to amortise the claim.
 constexpr size_t kPhaseGrain = 16;
+
+/// Minimum global-skyline size before Phase I switches from the
+/// one-vs-one scan to the batched tile filter, and minimum Phase II
+/// prefix length per candidate. Below these the window fits a few tiles
+/// and per-point early exit (the first dominators are L1-strong and sit
+/// at the front) beats paying for 8 lanes per compare.
+constexpr size_t kBatchWindowMin = 256;
+constexpr size_t kBatchPrefixMin = 64;
 }  // namespace
 
 Result QFlowCompute(const Dataset& data, const Options& opts) {
@@ -27,7 +36,7 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
 
   WallTimer total;
   ThreadPool pool(opts.ResolvedThreads());
-  DomCtx dom(data.dims(), data.stride(), opts.use_simd);
+  DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
   DtCounter counter(opts.count_dts);
 
   WorkingSet ws = WorkingSet::FromDataset(data, pool);
@@ -42,12 +51,22 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
   const size_t stride = static_cast<size_t>(ws.stride);
   const size_t row_bytes = sizeof(Value) * stride;
 
-  // Global skyline S: contiguous rows + original ids, append-only.
+  // Global skyline S: contiguous rows + original ids, append-only. In
+  // batch mode a transposed SoA mirror of S (and a per-block tile set of
+  // Phase II survivors) feeds the 8-lane window kernels.
   AlignedBuffer<Value> sky_rows(ws.count * stride);
   std::vector<PointId> sky_ids;
   sky_ids.reserve(1024);
   size_t sky_count = 0;
   const auto sky_row = [&](size_t i) { return sky_rows.data() + i * stride; };
+
+  const bool batch = dom.batch();
+  TileBlock sky_tiles;
+  TileBlock block_tiles;
+  if (batch) {
+    sky_tiles.Reset(ws.dims, ws.count);
+    block_tiles.Reset(ws.dims, std::min(alpha, ws.count));
+  }
 
   std::vector<uint8_t> flags(std::min(alpha, ws.count));
 
@@ -58,16 +77,28 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
 
     // ---- Phase I: each block point vs. the known global skyline, in the
     // exact order a sequential algorithm would use (Algorithm 1 l.6-8).
+    // Batch mode filters each candidate run against the SoA mirror of S
+    // with the cache-blocked tile scan; the verdict per point is
+    // identical, only the evaluation width changes.
     phase.Restart();
+    // Tiny windows favour the one-vs-one scan: its per-point early exit
+    // finds the (L1-strong) first dominators in a couple of tests, while
+    // a tile pass always pays for 8 lanes.
+    const bool batch_window = batch && sky_count >= kBatchWindowMin;
     pool.ParallelFor(blen, kPhaseGrain, [&](size_t lo, size_t hi) {
       uint64_t dts = 0;
-      for (size_t k = lo; k < hi; ++k) {
-        const Value* q = ws.Row(b + k);
-        for (size_t s = 0; s < sky_count; ++s) {
-          ++dts;
-          if (dom.Dominates(sky_row(s), q)) {
-            flags[k] = 1;
-            break;
+      if (batch_window) {
+        dom.FilterTile(ws.Row(b + lo), hi - lo, sky_tiles, flags.data() + lo,
+                       &dts);
+      } else {
+        for (size_t k = lo; k < hi; ++k) {
+          const Value* q = ws.Row(b + k);
+          for (size_t s = 0; s < sky_count; ++s) {
+            ++dts;
+            if (dom.Dominates(sky_row(s), q)) {
+              flags[k] = 1;
+              break;
+            }
           }
         }
       }
@@ -81,12 +112,22 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
 
     // ---- Phase II: survivors vs. preceding in-block survivors
     // (Algorithm 1 l.10-12). If Q[j] dominates Q[k], Q[k] is dominated
-    // regardless of Q[j]'s own (still unsettled) fate.
+    // regardless of Q[j]'s own (still unsettled) fate. Batch mode tiles
+    // the survivor range once, then each point scans its prefix of tiles
+    // (the ragged head tile handled by a lane mask).
     std::fill_n(flags.begin(), survivors, uint8_t{0});
+    if (batch) {
+      block_tiles.Clear();
+      block_tiles.AppendRows(ws.Row(b), ws.stride, survivors);
+    }
     pool.ParallelFor(survivors, kPhaseGrain, [&](size_t lo, size_t hi) {
       uint64_t dts = 0;
       for (size_t k = lo; k < hi; ++k) {
         const Value* q = ws.Row(b + k);
+        if (batch && k >= kBatchPrefixMin) {
+          if (dom.DominatedByAny(q, block_tiles, k, &dts)) flags[k] = 1;
+          continue;
+        }
         for (size_t j = 0; j < k; ++j) {
           ++dts;
           if (dom.Dominates(ws.Row(b + j), q)) {
@@ -105,6 +146,7 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
       std::memcpy(sky_row(sky_count + k), ws.Row(b + k), row_bytes);
       sky_ids.push_back(ws.ids[b + k]);
     }
+    if (batch) sky_tiles.AppendRows(ws.Row(b), ws.stride, confirmed);
     sky_count += confirmed;
     st.compress_seconds += phase.Lap();
 

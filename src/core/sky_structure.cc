@@ -1,6 +1,8 @@
 // Copyright (c) SkyBench-NG contributors.
 #include "core/sky_structure.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/bits.h"
@@ -10,6 +12,7 @@ namespace sky {
 SkyStructure::SkyStructure(int dims, int stride, size_t capacity)
     : dims_(dims), stride_(stride) {
   rows_.Reset(capacity * static_cast<size_t>(stride_));
+  tiles_.Reset(dims, capacity);
   ids_.reserve(capacity);
   masks_.reserve(capacity);
 }
@@ -36,6 +39,7 @@ void SkyStructure::Append(const WorkingSet& ws, size_t begin, size_t len,
     Value* dst_row =
         rows_.data() + static_cast<size_t>(dst) * static_cast<size_t>(stride_);
     std::memcpy(dst_row, ws.Row(src), row_bytes);
+    tiles_.PushRow(dst_row);
     ids_.push_back(ws.ids[src]);
     const Mask level1 = ws.masks[src];
     if (level1 == open_mask) {
@@ -85,6 +89,26 @@ bool SkyStructure::Dominated(const Value* q, Mask qmask, const DomCtx& dom,
     if (m2 == full && !dom.Equal(q, Row(s))) {
       dominated = true;  // the pivot itself dominates q (line 6)
       break;
+    }
+    if (dom.batch()) {
+      // Batched member scan: the partition range [s+1, t) maps onto the
+      // global SoA tiles with lane masks at both ragged ends. The
+      // level-2 filter (line 8) runs 8 masks per compare, and surviving
+      // lanes share one tile dominance kernel (ProbeMaskedTile).
+      const size_t stride = static_cast<size_t>(stride_);
+      for (size_t g = (s + 1) / kSimdWidth;
+           g * kSimdWidth < t && !dominated; ++g) {
+        const size_t row0 = g * kSimdWidth;
+        const size_t lo = row0 < s + 1 ? (s + 1) - row0 : 0;
+        const size_t hi = std::min<size_t>(kSimdWidth, t - row0);
+        if (ProbeMaskedTile(dom, q, tiles_.Tile(g), masks_.data() + row0,
+                            count_ - row0, m2, LaneMaskRange(lo, hi),
+                            rows_.data() + row0 * stride, stride,
+                            &local_dts, &local_skips)) {
+          dominated = true;
+        }
+      }
+      continue;
     }
     for (uint32_t j = s + 1; j < t; ++j) {
       // Level-2 filter (line 8): member masks are relative to the pivot,

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "data/working_set.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 
 namespace sky {
@@ -76,6 +77,11 @@ class SkyStructure {
   size_t count_ = 0;
   size_t last_append_begin_ = 0;
   AlignedBuffer<Value> rows_;
+  /// Transposed SoA mirror of rows_ in global tile coordinates (tile t =
+  /// points [8t, 8t+8)), maintained by Append for the batched window
+  /// scan. Partition ranges map onto it with lane masks, so a tile may
+  /// straddle partitions.
+  TileBlock tiles_;
   std::vector<PointId> ids_;
   /// For a partition pivot: its level-1 mask. For any other point: its
   /// level-2 mask relative to the partition pivot.

@@ -1,0 +1,190 @@
+// Copyright (c) SkyBench-NG contributors.
+// Batched dominance layer: SoA tiles of kSimdWidth points and the
+// one-vs-many / many-vs-many kernels that test a candidate against a
+// whole tile per instruction stream. The one-vs-one kernels in
+// dominance.h vectorize *across dimensions* — at the paper's common
+// d=4..8 that fills at most one 8-lane register per compare; the tile
+// kernels here vectorize *across points* instead, so every compare keeps
+// all 8 lanes busy regardless of d and early-outs via movemask.
+#ifndef SKY_DOMINANCE_BATCH_H_
+#define SKY_DOMINANCE_BATCH_H_
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+#include "common/types.h"
+#include "dominance/dominance.h"
+
+namespace sky {
+
+/// Lane-padding value for SoA tiles. +inf loses every ordered comparison
+/// (never <=, never <) against finite coordinates, compares equal-only
+/// against itself, and every NaN comparison is false — so a padding lane
+/// can never register as a dominator of any candidate, NaN included.
+inline constexpr Value kTileLanePad = std::numeric_limits<Value>::infinity();
+
+/// All 8 lanes of a tile.
+inline constexpr uint32_t kFullLaneMask = (1u << kSimdWidth) - 1;
+
+/// Cache-blocking chunk for many-vs-many scans: the slice of the tile
+/// window replayed against every surviving candidate before moving on.
+/// Half a typical 32 KiB L1d, so candidate rows and flags fit alongside.
+inline constexpr size_t kWindowChunkBytes = 16 * 1024;
+
+/// Bit mask of the first `lanes` lanes (lanes <= kSimdWidth).
+SKY_ALWAYS_INLINE uint32_t LaneMaskFirst(size_t lanes) {
+  return (lanes >= kSimdWidth) ? kFullLaneMask
+                               : ((1u << lanes) - 1);
+}
+
+/// Bits [lo, hi) of a tile's lane mask (0 <= lo <= hi <= kSimdWidth).
+SKY_ALWAYS_INLINE uint32_t LaneMaskRange(size_t lo, size_t hi) {
+  return LaneMaskFirst(hi) & ~LaneMaskFirst(lo);
+}
+
+/// An append-only array of SoA tiles: tile t holds points
+/// [t*kSimdWidth, (t+1)*kSimdWidth) transposed, so dimension j of all 8
+/// points occupies the contiguous, 32-byte-aligned floats
+/// Tile(t)[j*kSimdWidth .. j*kSimdWidth+8). Unfilled lanes (a ragged
+/// tail, or a cleared block) hold kTileLanePad on every dimension.
+///
+/// Unlike Dataset/WorkingSet rows, tiles carry exactly `dims` dimensions
+/// per point — the SIMD padding moved from the dimension axis to the
+/// point axis.
+class TileBlock {
+ public:
+  TileBlock() = default;
+  TileBlock(int dims, size_t capacity) { Reset(dims, capacity); }
+
+  /// Allocate room for `capacity` points and mark every lane unfilled.
+  void Reset(int dims, size_t capacity);
+
+  /// Forget all points but keep the allocation, re-padding only the
+  /// tiles that were actually written (cheap per-block reuse).
+  void Clear();
+
+  /// Append one point (reads `dims` floats from `row`).
+  void PushRow(const Value* row);
+
+  /// Append `count` AoS rows of the given stride (a WorkingSet/Dataset
+  /// row range).
+  void AppendRows(const Value* rows, int stride, size_t count);
+
+  int dims() const { return dims_; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return count_ == 0; }
+  size_t tile_count() const {
+    return (count_ + kSimdWidth - 1) / kSimdWidth;
+  }
+  /// Floats per tile (dims * kSimdWidth).
+  size_t tile_floats() const { return tile_floats_; }
+  const Value* Tile(size_t t) const {
+    SKY_DCHECK(t < tile_count());
+    return soa_.data() + t * tile_floats_;
+  }
+  /// Lanes of tile t that hold real points.
+  uint32_t ValidLanes(size_t t) const {
+    SKY_DCHECK(t < tile_count());
+    return LaneMaskFirst(count_ - t * kSimdWidth);
+  }
+
+ private:
+  int dims_ = 0;
+  size_t tile_floats_ = 0;
+  size_t count_ = 0;
+  size_t capacity_ = 0;
+  AlignedBuffer<Value> soa_;
+};
+
+// ---- Tile kernels ----------------------------------------------------
+//
+// Each returns the bitmask of lanes (restricted to `lane_mask`) whose
+// point strictly dominates q, with verdicts identical per lane to
+// DominatesScalar — including the NaN convention (a NaN coordinate
+// compares neither greater nor smaller, contributing neither a
+// violation nor strictness). The AVX2 flavours live in simd.cc behind
+// the same SKY_HAVE_AVX2 gate as the one-vs-one kernels; callers must
+// gate on CpuHasAvx2() (DomCtx does).
+
+uint32_t TileDominatesScalar(const Value* q, const Value* tile, int dims,
+                             uint32_t lane_mask);
+uint32_t TileDominatesAvx2(const Value* q, const Value* tile, int dims,
+                           uint32_t lane_mask);
+
+/// Lane mask over 8 consecutive partition masks: bit l set iff a point
+/// carrying masks8[l] may dominate a point carrying mask m (the subset
+/// test MaskMayDominate, vectorized). Loads 8 Mask values from masks8.
+uint32_t MaskComparableLanesScalar(const Mask* masks8, Mask m);
+uint32_t MaskComparableLanesAvx2(const Mask* masks8, Mask m);
+
+// ---- Whole-scan kernels ----------------------------------------------
+//
+// The hot window scans live in the AVX2 TU so the candidate's broadcast
+// registers are hoisted out of the tile loop (a per-tile entry call
+// would re-broadcast d coordinates per 8 points). Callers must gate on
+// CpuHasAvx2(); DomCtx::DominatedByAny / FilterTile do and fall back to
+// the scalar tile loops otherwise.
+
+/// True iff some point among the first min(limit, tiles.size()) tile
+/// points strictly dominates q. Adds per-lane tests to *dts (non-null).
+bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
+                        size_t limit, uint64_t* dts);
+
+/// Flag every AoS candidate row (stride floats apart) dominated by some
+/// tile point; cache-blocked over the window. Pre-flagged rows are
+/// skipped. Returns the number newly flagged; adds tests to *dts.
+size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
+                      const TileBlock& tiles, uint8_t* flags,
+                      uint64_t* dts);
+
+/// Tail-safe 8-mask load: when fewer than kSimdWidth masks remain
+/// readable at `src`, copies the `avail` real ones into `tmp` (filling
+/// the rest with all-ones) and returns `tmp`; otherwise returns `src`.
+/// The fill value is irrelevant — out-of-range lanes must already be
+/// excluded by the caller's lane mask — this only keeps loads legal.
+SKY_ALWAYS_INLINE const Mask* LoadMasks8(const Mask* src, size_t avail,
+                                         Mask* tmp) {
+  if (SKY_LIKELY(avail >= kSimdWidth)) return src;
+  for (size_t i = 0; i < kSimdWidth; ++i) {
+    tmp[i] = i < avail ? src[i] : ~Mask{0};
+  }
+  return tmp;
+}
+
+/// Mask-filtered batched probe of one tile (the shared inner step of
+/// SkyStructure::Dominated and Hybrid's peer scan): among `active`
+/// lanes, count the mask-incomparable ones (vs `m`) as skips, test the
+/// comparable ones against q, and return true iff one dominates.
+/// A single surviving lane routes through the one-vs-one kernel for its
+/// per-dimension early exit (which the 8-lane kernel cannot do).
+/// `masks` points at the lane-0 partition mask with `avail` readable
+/// entries (tail-safe); `rows0`/`stride` give lane 0's AoS row for the
+/// single-lane path. Inline: called once per tile in the hottest scans.
+SKY_ALWAYS_INLINE bool ProbeMaskedTile(const DomCtx& dom, const Value* q,
+                                       const Value* tile, const Mask* masks,
+                                       size_t avail, Mask m,
+                                       uint32_t active, const Value* rows0,
+                                       size_t stride, uint64_t* dts,
+                                       uint64_t* skips) {
+  if (active == 0) return false;
+  Mask tmp[kSimdWidth];
+  const Mask* m8 = LoadMasks8(masks, avail, tmp);
+  const uint32_t comparable = dom.MaskComparableLanes(m8, m);
+  *skips += std::popcount(active & ~comparable);
+  const uint32_t elig = active & comparable;
+  if (elig == 0) return false;
+  *dts += std::popcount(elig);
+  if ((elig & (elig - 1)) == 0) {
+    const size_t lane = static_cast<size_t>(std::countr_zero(elig));
+    return dom.Dominates(rows0 + lane * stride, q);
+  }
+  return dom.TileDominates(q, tile, elig) != 0;
+}
+
+}  // namespace sky
+
+#endif  // SKY_DOMINANCE_BATCH_H_

@@ -77,9 +77,12 @@ bool DominatesAvx2(const Value* p, const Value* q, int dpad);
 bool PotentiallyDominatesAvx2(const Value* p, const Value* q, int dpad);
 Relation CompareAvx2(const Value* p, const Value* q, int dpad);
 Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad);
+bool EqualAvx2(const Value* p, const Value* q, int dpad);
 
 /// Runtime check that the host CPU executes AVX2.
 bool CpuHasAvx2();
+
+class TileBlock;  // SoA tiles for the batched kernels (dominance/batch.h)
 
 /// Bound dominance context: fixes dimensionality, padded stride, and
 /// kernel flavour once per run so hot loops carry no re-dispatch cost
@@ -87,12 +90,16 @@ bool CpuHasAvx2();
 class DomCtx {
  public:
   /// `use_simd` requests the vector kernels; silently falls back to scalar
-  /// when the build or CPU lacks AVX2.
-  DomCtx(int dims, int stride, bool use_simd);
+  /// when the build or CPU lacks AVX2. `use_batch` additionally routes the
+  /// hot window scans through the SoA tile kernels (dominance/batch.h);
+  /// turning it off restores the one-vs-one paths for ablation.
+  DomCtx(int dims, int stride, bool use_simd, bool use_batch = true);
 
   int dims() const { return d_; }
   int stride() const { return stride_; }
   bool simd() const { return simd_; }
+  /// True when consumers should prefer the batched tile entry points.
+  bool batch() const { return batch_; }
 
   SKY_ALWAYS_INLINE bool Dominates(const Value* p, const Value* q) const {
     return simd_ ? DominatesAvx2(p, q, stride_) : DominatesScalar(p, q, d_);
@@ -114,13 +121,41 @@ class DomCtx {
   }
 
   SKY_ALWAYS_INLINE bool Equal(const Value* p, const Value* q) const {
-    return EqualScalar(p, q, d_);
+    return simd_ ? EqualAvx2(p, q, stride_) : EqualScalar(p, q, d_);
   }
+
+  // ---- Batched (tile) entry points, defined in batch.cc. Each works in
+  // any build: with SIMD they run the AVX2 tile kernels, without they run
+  // the scalar tile kernels — verdicts are identical either way.
+
+  /// Lane mask of `tile` points (restricted to lane_mask) that strictly
+  /// dominate q. Per-lane verdicts match DominatesScalar exactly.
+  uint32_t TileDominates(const Value* q, const Value* tile,
+                         uint32_t lane_mask) const;
+
+  /// Lane mask over masks8[0..8) of points that may dominate a point
+  /// carrying partition mask m (vectorized MaskMayDominate).
+  uint32_t MaskComparableLanes(const Mask* masks8, Mask m) const;
+
+  /// True iff some point among the first min(limit, tiles.size()) tile
+  /// points strictly dominates q; early-outs per tile. Adds the number of
+  /// per-lane tests performed to *dts when non-null.
+  bool DominatedByAny(const Value* q, const TileBlock& tiles, size_t limit,
+                      uint64_t* dts) const;
+
+  /// Many-vs-many: flag every candidate row i in [0, n) (AoS rows of this
+  /// context's stride) dominated by some tile point. The window is walked
+  /// in L1-sized chunks, each replayed against all surviving candidates
+  /// (cache-blocked scan). Returns the number of rows newly flagged;
+  /// rows already flagged on entry are skipped.
+  size_t FilterTile(const Value* rows, size_t n, const TileBlock& tiles,
+                    uint8_t* flags, uint64_t* dts) const;
 
  private:
   int d_;
   int stride_;
   bool simd_;
+  bool batch_;
 };
 
 }  // namespace sky

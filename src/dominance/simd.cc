@@ -3,7 +3,11 @@
 // when available; callers must gate on CpuHasAvx2() (DomCtx does).
 #include "dominance/dominance.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/bits.h"
+#include "dominance/batch.h"
 
 #if defined(SKY_HAVE_AVX2)
 #include <immintrin.h>
@@ -72,6 +76,149 @@ Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad) {
   return m & FullMask(d);
 }
 
+bool EqualAvx2(const Value* p, const Value* q, int dpad) {
+  for (int i = 0; i < dpad; i += 8) {
+    const __m256 a = _mm256_loadu_ps(p + i);
+    const __m256 b = _mm256_loadu_ps(q + i);
+    // EQ_OQ is false for NaN lanes, matching EqualScalar's
+    // (NaN != NaN) == true convention; zero padding lanes compare equal.
+    if (_mm256_movemask_ps(_mm256_cmp_ps(a, b, _CMP_EQ_OQ)) != 0xFF) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t TileDominatesAvx2(const Value* q, const Value* tile, int dims,
+                           uint32_t lane_mask) {
+  // One register row per dimension: 8 window points vs one broadcast
+  // candidate coordinate. A lane dominates iff it never compares greater
+  // (GT accumulates violations; false on NaN, like the scalar kernel)
+  // and compares strictly less somewhere.
+  __m256 gt = _mm256_setzero_ps();
+  __m256 lt = _mm256_setzero_ps();
+  int alive = static_cast<int>(lane_mask & kFullLaneMask);
+  for (int j = 0; j < dims; ++j) {
+    const __m256 w = _mm256_load_ps(tile + j * kSimdWidth);
+    const __m256 c = _mm256_set1_ps(q[j]);
+    gt = _mm256_or_ps(gt, _mm256_cmp_ps(w, c, _CMP_GT_OQ));
+    lt = _mm256_or_ps(lt, _mm256_cmp_ps(w, c, _CMP_LT_OQ));
+    alive &= ~_mm256_movemask_ps(gt);
+    if (alive == 0) return 0;  // no lane can still dominate: early out
+  }
+  return static_cast<uint32_t>(
+             _mm256_movemask_ps(_mm256_andnot_ps(gt, lt))) &
+         lane_mask & kFullLaneMask;
+}
+
+uint32_t MaskComparableLanesAvx2(const Mask* masks8, Mask m) {
+  const __m256i mm =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(masks8));
+  const __m256i leak =
+      _mm256_and_si256(mm, _mm256_set1_epi32(static_cast<int>(~m)));
+  const __m256i comparable =
+      _mm256_cmpeq_epi32(leak, _mm256_setzero_si256());
+  return static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(comparable)));
+}
+
+namespace {
+
+/// The candidate's coordinates broadcast once per window scan — a
+/// per-tile kernel entry would redo d broadcasts per 8 points.
+struct BroadcastQ {
+  __m256 v[kMaxDims];
+  BroadcastQ(const Value* q, int d) {
+    for (int j = 0; j < d; ++j) v[j] = _mm256_set1_ps(q[j]);
+  }
+};
+
+/// First dimension at which the early-out movemask check runs. Below it
+/// the check's vector-to-int transfer costs more than the compares it
+/// could save; past it most random lanes are dead and the break pays.
+constexpr int kEarlyOutFromDim = 4;
+
+SKY_ALWAYS_INLINE uint32_t TileVsBroadcast(const BroadcastQ& q,
+                                           const Value* tile, int dims,
+                                           uint32_t lane_mask) {
+  __m256 gt = _mm256_setzero_ps();
+  __m256 lt = _mm256_setzero_ps();
+  for (int j = 0; j < dims; ++j) {
+    const __m256 w = _mm256_load_ps(tile + j * kSimdWidth);
+    gt = _mm256_or_ps(gt, _mm256_cmp_ps(w, q.v[j], _CMP_GT_OQ));
+    lt = _mm256_or_ps(lt, _mm256_cmp_ps(w, q.v[j], _CMP_LT_OQ));
+    if (j >= kEarlyOutFromDim &&
+        (~_mm256_movemask_ps(gt) & static_cast<int>(lane_mask) & 0xFF) ==
+            0) {
+      return 0;
+    }
+  }
+  return static_cast<uint32_t>(
+             _mm256_movemask_ps(_mm256_andnot_ps(gt, lt))) &
+         lane_mask & kFullLaneMask;
+}
+
+}  // namespace
+
+bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
+                        size_t limit, uint64_t* dts) {
+  const size_t n = limit < tiles.size() ? limit : tiles.size();
+  if (n == 0) return false;
+  const int dims = tiles.dims();
+  const BroadcastQ qb(q, dims);
+  uint64_t tested = 0;
+  bool dominated = false;
+  const size_t full = n / kSimdWidth;
+  const size_t tail = n % kSimdWidth;
+  for (size_t t = 0; t < full; ++t) {
+    tested += kSimdWidth;
+    if (TileVsBroadcast(qb, tiles.Tile(t), dims, kFullLaneMask) != 0) {
+      dominated = true;
+      break;
+    }
+  }
+  if (!dominated && tail != 0) {
+    tested += tail;
+    dominated = TileVsBroadcast(qb, tiles.Tile(full), dims,
+                                LaneMaskFirst(tail)) != 0;
+  }
+  if (dts != nullptr) *dts += tested;
+  return dominated;
+}
+
+size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
+                      const TileBlock& tiles, uint8_t* flags,
+                      uint64_t* dts) {
+  const size_t ntiles = tiles.tile_count();
+  if (n == 0 || ntiles == 0) return 0;
+  const int dims = tiles.dims();
+  const size_t chunk = std::max<size_t>(
+      1, kWindowChunkBytes / (tiles.tile_floats() * sizeof(Value)));
+  uint64_t tested = 0;
+  size_t flagged = 0;
+  // Cache-blocked loop order: each L1-sized slice of the window is
+  // streamed against every still-alive candidate before the next slice.
+  for (size_t t0 = 0; t0 < ntiles; t0 += chunk) {
+    const size_t t1 = t0 + chunk < ntiles ? t0 + chunk : ntiles;
+    for (size_t i = 0; i < n; ++i) {
+      if (flags[i] != 0) continue;
+      const Value* q = rows + i * static_cast<size_t>(stride);
+      const BroadcastQ qb(q, dims);
+      for (size_t t = t0; t < t1; ++t) {
+        const uint32_t valid = tiles.ValidLanes(t);
+        tested += std::popcount(valid);
+        if (TileVsBroadcast(qb, tiles.Tile(t), dims, valid) != 0) {
+          flags[i] = 1;
+          ++flagged;
+          break;
+        }
+      }
+    }
+  }
+  if (dts != nullptr) *dts += tested;
+  return flagged;
+}
+
 #else  // !SKY_HAVE_AVX2 — scalar stand-ins so the library still links.
 
 bool DominatesAvx2(const Value* p, const Value* q, int dpad) {
@@ -86,6 +233,44 @@ Relation CompareAvx2(const Value* p, const Value* q, int dpad) {
 Mask PartitionMaskAvx2(const Value* p, const Value* v, int d, int dpad) {
   (void)dpad;
   return PartitionMaskScalar(p, v, d);
+}
+bool EqualAvx2(const Value* p, const Value* q, int dpad) {
+  return EqualScalar(p, q, dpad);
+}
+uint32_t TileDominatesAvx2(const Value* q, const Value* tile, int dims,
+                           uint32_t lane_mask) {
+  return TileDominatesScalar(q, tile, dims, lane_mask);
+}
+uint32_t MaskComparableLanesAvx2(const Mask* masks8, Mask m) {
+  return MaskComparableLanesScalar(masks8, m);
+}
+bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
+                        size_t limit, uint64_t* dts) {
+  const size_t n = limit < tiles.size() ? limit : tiles.size();
+  uint64_t tested = 0;
+  bool dominated = false;
+  for (size_t t = 0; t * kSimdWidth < n && !dominated; ++t) {
+    const size_t lanes = std::min<size_t>(kSimdWidth, n - t * kSimdWidth);
+    tested += lanes;
+    dominated = TileDominatesScalar(q, tiles.Tile(t), tiles.dims(),
+                                    LaneMaskFirst(lanes)) != 0;
+  }
+  if (dts != nullptr) *dts += tested;
+  return dominated;
+}
+size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
+                      const TileBlock& tiles, uint8_t* flags,
+                      uint64_t* dts) {
+  size_t flagged = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (flags[i] != 0) continue;
+    if (DominatedByAnyAvx2(rows + i * static_cast<size_t>(stride), tiles,
+                           tiles.size(), dts)) {
+      flags[i] = 1;
+      ++flagged;
+    }
+  }
+  return flagged;
 }
 
 #endif  // SKY_HAVE_AVX2

@@ -12,12 +12,20 @@
 #include "common/timer.h"
 #include "core/skyband.h"
 #include "core/skyline.h"
+#include "dominance/batch.h"
+#include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
 #include "query/cost_model.h"
 #include "query/view.h"
 
 namespace sky {
 namespace {
+
+/// Largest candidate union the sharded merge filters directly with the
+/// batched tile kernels instead of launching a full skyline algorithm.
+/// The direct filter is O(total * m) but skips the WorkingSet copy,
+/// sort, and pool spin-up, which dominate at this scale.
+constexpr size_t kBatchMergeMaxRows = 4096;
 
 /// Top-k rank score. NaN (possible in loaded CSV data) sorts last —
 /// mapping it to +inf keeps std::sort's strict weak ordering intact.
@@ -292,7 +300,40 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   }
 
   std::vector<PointId> members;
-  if (total > 0) {
+  const DomCtx merge_dom(view_dims, merged.stride(), opts.use_simd,
+                         opts.use_batch);
+  if (total > 0 && canon.band_k == 1 && merge_dom.batch() &&
+      total <= kBatchMergeMaxRows) {
+    // Small unions skip the full algorithm run: tile the union once and
+    // dominance-filter every candidate against it with the cache-blocked
+    // batch kernel. A candidate never dominates itself (coincident
+    // points do not dominate), so no self-exclusion is needed and the
+    // surviving set is exactly SKY(union) with duplicates retained —
+    // identical to what ComputeSkyline would return, minus its
+    // WorkingSet copy, sort, and thread-pool setup.
+    TileBlock tiles(view_dims, total);
+    tiles.AppendRows(merged.Row(0), merged.stride(), total);
+    std::vector<uint8_t> dominated(total, 0);
+    uint64_t dts = 0;
+    merge_dom.FilterTile(merged.Row(0), total, tiles, dominated.data(),
+                         &dts);
+    members.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      if (dominated[i] == 0) members.push_back(static_cast<PointId>(i));
+    }
+    if (opts.count_dts) r.stats.dominance_tests += dts;
+    r.dominator_counts.assign(members.size(), 0u);
+    if (opts.progressive && !members.empty()) {
+      // The union contains the whole answer, so every survivor is a
+      // confirmed global member: stream them as one block in caller row
+      // space.
+      std::vector<PointId> mapped(members.size());
+      for (size_t i = 0; i < members.size(); ++i) {
+        mapped[i] = merged_ids[members[i]];
+      }
+      opts.progressive(mapped);
+    }
+  } else if (total > 0) {
     Options merge_opts = opts;
     if (merge_opts.algorithm == Algorithm::kAuto) {
       merge_opts.algorithm = plan.merge_algorithm;

@@ -1,0 +1,297 @@
+// Copyright (c) SkyBench-NG contributors.
+// Differential and property tests for the batched dominance layer
+// (dominance/batch.h): tile layout, lane padding, and verdict
+// equivalence of every batch kernel against the DominatesScalar oracle —
+// across d in [1, 16], ragged tail tiles, NaN coordinates, duplicated
+// points, and both kernel flavours (scalar tiles and AVX2 tiles).
+#include "dominance/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "core/hybrid.h"
+#include "core/qflow.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "dominance/dominance.h"
+#include "test_util.h"
+
+namespace sky {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+/// Random dataset on a coarse grid (frequent ties), with optional NaN
+/// injection and duplicated rows.
+Dataset GridData(int d, size_t n, uint64_t seed, bool with_nan) {
+  Dataset data(d, n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3 && i > 0) {  // duplicate an earlier row verbatim
+      for (int j = 0; j < d; ++j) {
+        data.MutableRow(i)[j] = data.Row(i - 3)[j];
+      }
+      continue;
+    }
+    for (int j = 0; j < d; ++j) {
+      data.MutableRow(i)[j] = static_cast<float>(rng.NextBounded(6)) / 4.0f;
+    }
+    if (with_nan && rng.NextBounded(11) == 0) {
+      data.MutableRow(i)[rng.NextBounded(static_cast<uint32_t>(d))] = kNaN;
+    }
+  }
+  return data;
+}
+
+TEST(TileBlock, LayoutAndPadding) {
+  const int d = 3;
+  TileBlock tiles(d, 11);  // ragged: 2 tiles, last with 3 valid lanes
+  Dataset data = GridData(d, 11, 5, false);
+  tiles.AppendRows(data.Row(0), data.stride(), 11);
+  ASSERT_EQ(tiles.size(), 11u);
+  ASSERT_EQ(tiles.tile_count(), 2u);
+  EXPECT_EQ(tiles.ValidLanes(0), kFullLaneMask);
+  EXPECT_EQ(tiles.ValidLanes(1), LaneMaskFirst(3));
+  for (size_t i = 0; i < 11; ++i) {
+    const Value* tile = tiles.Tile(i / kSimdWidth);
+    for (int j = 0; j < d; ++j) {
+      EXPECT_EQ(tile[j * kSimdWidth + i % kSimdWidth], data.Row(i)[j]);
+    }
+  }
+  // Padding lanes of the ragged tail must hold the inert +inf value.
+  const Value* tail = tiles.Tile(1);
+  for (size_t lane = 3; lane < kSimdWidth; ++lane) {
+    for (int j = 0; j < d; ++j) {
+      EXPECT_EQ(tail[j * kSimdWidth + lane], kTileLanePad);
+    }
+  }
+}
+
+TEST(TileBlock, ClearRepadsUsedTiles) {
+  const int d = 2;
+  TileBlock tiles(d, 16);
+  Dataset data = GridData(d, 10, 6, false);
+  tiles.AppendRows(data.Row(0), data.stride(), 10);
+  tiles.Clear();
+  EXPECT_EQ(tiles.size(), 0u);
+  tiles.AppendRows(data.Row(0), data.stride(), 3);
+  const Value* tile = tiles.Tile(0);
+  for (size_t lane = 3; lane < kSimdWidth; ++lane) {
+    EXPECT_EQ(tile[lane], kTileLanePad) << "stale lane " << lane;
+  }
+}
+
+TEST(LaneMasks, Helpers) {
+  EXPECT_EQ(LaneMaskFirst(0), 0u);
+  EXPECT_EQ(LaneMaskFirst(3), 0b111u);
+  EXPECT_EQ(LaneMaskFirst(8), 0xFFu);
+  EXPECT_EQ(LaneMaskRange(0, 8), 0xFFu);
+  EXPECT_EQ(LaneMaskRange(2, 5), 0b11100u);
+  EXPECT_EQ(LaneMaskRange(4, 4), 0u);
+}
+
+/// Oracle lane mask: which of tiles' points [t*8, t*8+8) strictly
+/// dominate q, per DominatesScalar on the original rows.
+uint32_t OracleLaneMask(const Dataset& data, size_t t, const Value* q,
+                        uint32_t lane_mask) {
+  uint32_t out = 0;
+  for (size_t l = 0; l < kSimdWidth; ++l) {
+    const size_t idx = t * kSimdWidth + l;
+    if ((lane_mask & (1u << l)) == 0 || idx >= data.count()) continue;
+    if (DominatesScalar(data.Row(idx), q, data.dims())) out |= 1u << l;
+  }
+  return out;
+}
+
+class BatchKernelDifferential
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(BatchKernelDifferential, TileVerdictsMatchScalarOracle) {
+  const auto [d, with_nan] = GetParam();
+  const size_t n = 203;  // ragged: 25 full tiles + 3-lane tail
+  Dataset window = GridData(d, n, 100 + static_cast<uint64_t>(d), with_nan);
+  Dataset probes = GridData(d, 64, 900 + static_cast<uint64_t>(d), with_nan);
+  TileBlock tiles(d, n);
+  tiles.AppendRows(window.Row(0), window.stride(), n);
+  Rng rng(17);
+  for (size_t i = 0; i < probes.count(); ++i) {
+    const Value* q = probes.Row(i);
+    for (size_t t = 0; t < tiles.tile_count(); ++t) {
+      // Random lane restriction exercises both ragged tails and interior
+      // masked scans (partition windows).
+      const uint32_t lane_mask =
+          static_cast<uint32_t>(rng.NextBounded(256));
+      const uint32_t expect =
+          OracleLaneMask(window, t, q, lane_mask & tiles.ValidLanes(t));
+      ASSERT_EQ(TileDominatesScalar(q, tiles.Tile(t), d, lane_mask), expect)
+          << "scalar tile kernel, d=" << d << " t=" << t;
+      if (CpuHasAvx2()) {
+        ASSERT_EQ(TileDominatesAvx2(q, tiles.Tile(t), d, lane_mask), expect)
+            << "avx2 tile kernel, d=" << d << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDims, BatchKernelDifferential,
+    ::testing::Combine(::testing::Range(1, kMaxDims + 1),
+                       ::testing::Bool()));
+
+class DomCtxBatchDifferential : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DomCtxBatchDifferential, DominatedByAnyMatchesOracleWithPrefixes) {
+  const bool use_simd = GetParam();
+  for (const int d : {1, 2, 4, 5, 8, 13, 16}) {
+    Dataset window = GridData(d, 77, 31 + static_cast<uint64_t>(d), true);
+    Dataset probes = GridData(d, 40, 77 + static_cast<uint64_t>(d), true);
+    TileBlock tiles(d, 77);
+    tiles.AppendRows(window.Row(0), window.stride(), 77);
+    DomCtx dom(d, window.stride(), use_simd);
+    Rng rng(3);
+    for (size_t i = 0; i < probes.count(); ++i) {
+      const Value* q = probes.Row(i);
+      // Prefix limits cover empty, ragged, tile-aligned and full scans.
+      for (const size_t limit : {size_t{0}, size_t{5}, size_t{8},
+                                 size_t{16}, size_t{75}, size_t{77},
+                                 size_t{1000}}) {
+        bool expect = false;
+        for (size_t j = 0; j < std::min(limit, window.count()); ++j) {
+          if (DominatesScalar(window.Row(j), q, d)) {
+            expect = true;
+            break;
+          }
+        }
+        uint64_t dts = 0;
+        ASSERT_EQ(dom.DominatedByAny(q, tiles, limit, &dts), expect)
+            << "d=" << d << " probe=" << i << " limit=" << limit
+            << " simd=" << use_simd;
+      }
+    }
+  }
+}
+
+TEST_P(DomCtxBatchDifferential, FilterTileMatchesOracle) {
+  const bool use_simd = GetParam();
+  for (const int d : {1, 3, 6, 8, 12}) {
+    Dataset window = GridData(d, 130, 41 + static_cast<uint64_t>(d), true);
+    Dataset cands = GridData(d, 90, 53 + static_cast<uint64_t>(d), true);
+    TileBlock tiles(d, 130);
+    tiles.AppendRows(window.Row(0), window.stride(), 130);
+    DomCtx dom(d, window.stride(), use_simd);
+    std::vector<uint8_t> flags(cands.count(), 0);
+    flags[7] = 1;  // pre-flagged rows must be left alone and skipped
+    uint64_t dts = 0;
+    dom.FilterTile(cands.Row(0), cands.count(), tiles, flags.data(), &dts);
+    EXPECT_GT(dts, 0u);
+    for (size_t i = 0; i < cands.count(); ++i) {
+      if (i == 7) {
+        EXPECT_EQ(flags[i], 1) << "pre-flagged row cleared";
+        continue;
+      }
+      bool expect = false;
+      for (size_t j = 0; j < window.count() && !expect; ++j) {
+        expect = DominatesScalar(window.Row(j), cands.Row(i), d);
+      }
+      ASSERT_EQ(flags[i] != 0, expect)
+          << "d=" << d << " candidate=" << i << " simd=" << use_simd;
+    }
+  }
+}
+
+TEST_P(DomCtxBatchDifferential, MaskComparableLanesMatchesSubsetTest) {
+  const bool use_simd = GetParam();
+  DomCtx dom(4, 8, use_simd);
+  Rng rng(9);
+  for (int iter = 0; iter < 500; ++iter) {
+    Mask masks8[kSimdWidth];
+    for (auto& m : masks8) m = rng.NextBounded(1u << 12);
+    const Mask q = rng.NextBounded(1u << 12);
+    uint32_t expect = 0;
+    for (size_t l = 0; l < kSimdWidth; ++l) {
+      if (MaskMayDominate(masks8[l], q)) expect |= 1u << l;
+    }
+    ASSERT_EQ(dom.MaskComparableLanes(masks8, q), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavours, DomCtxBatchDifferential,
+                         ::testing::Bool());
+
+TEST(EqualKernel, Avx2MatchesScalarIncludingNaN) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "host lacks AVX2";
+  for (const int d : {1, 4, 8, 9, 16}) {
+    Dataset data = GridData(d, 128, 600 + static_cast<uint64_t>(d), true);
+    DomCtx dom(d, data.stride(), /*use_simd=*/true);
+    for (size_t i = 0; i + 1 < data.count(); ++i) {
+      const Value* p = data.Row(i);
+      const Value* q = data.Row(i + 1);
+      EXPECT_EQ(EqualAvx2(p, q, data.stride()), EqualScalar(p, q, d));
+      EXPECT_EQ(dom.Equal(p, p), EqualScalar(p, p, d));
+    }
+  }
+  // A NaN coordinate is unequal even to itself (scalar convention).
+  Dataset one(4, 1);
+  one.MutableRow(0)[2] = kNaN;
+  EXPECT_FALSE(EqualAvx2(one.Row(0), one.Row(0), one.stride()));
+  EXPECT_FALSE(EqualScalar(one.Row(0), one.Row(0), 4));
+}
+
+TEST(PaddingLanes, NeverDominateAnyProbe) {
+  // A lone point in an 8-lane tile: the 7 padding lanes must stay inert
+  // for finite, infinite and NaN probes alike.
+  const int d = 4;
+  TileBlock tiles(d, 1);
+  const float row[4] = {0.5f, 0.5f, 0.5f, 0.5f};
+  tiles.PushRow(row);
+  const float probes[][4] = {{0.1f, 0.1f, 0.1f, 0.1f},
+                             {0.9f, 0.9f, 0.9f, 0.9f},
+                             {kNaN, 0.9f, 0.9f, 0.9f},
+                             {kTileLanePad, kTileLanePad, kTileLanePad,
+                              kTileLanePad}};
+  for (const auto& q : probes) {
+    const uint32_t scalar =
+        TileDominatesScalar(q, tiles.Tile(0), d, kFullLaneMask);
+    EXPECT_EQ(scalar & ~1u, 0u) << "padding lane dominated a probe";
+    if (CpuHasAvx2()) {
+      EXPECT_EQ(TileDominatesAvx2(q, tiles.Tile(0), d, kFullLaneMask),
+                scalar);
+    }
+  }
+}
+
+/// End-to-end: the batched hot loops must produce row-identical skylines
+/// to the non-batched paths on adversarial data (ties, duplicates).
+TEST(BatchedAlgorithms, MatchNonBatchedSkylines) {
+  for (const auto dist : {Distribution::kIndependent,
+                          Distribution::kAnticorrelated}) {
+    for (const int d : {2, 5, 8}) {
+      Dataset data = GenerateSynthetic(dist, 6000, d, 271);
+      for (const Algorithm algo : {Algorithm::kQFlow, Algorithm::kHybrid}) {
+        Options on;
+        on.algorithm = algo;
+        on.threads = 2;
+        on.alpha = 512;  // several blocks, ragged last block
+        on.use_batch = true;
+        Options off = on;
+        off.use_batch = false;
+        const Result a = algo == Algorithm::kQFlow ? QFlowCompute(data, on)
+                                                   : HybridCompute(data, on);
+        const Result b = algo == Algorithm::kQFlow
+                             ? QFlowCompute(data, off)
+                             : HybridCompute(data, off);
+        EXPECT_EQ(test::Sorted(a.skyline), test::Sorted(b.skyline))
+            << AlgorithmName(algo) << " dist=" << static_cast<int>(dist)
+            << " d=" << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sky

@@ -65,12 +65,13 @@ TEST(SkyStructure, AppendMaintainsInvariants) {
 }
 
 class SkyStructureDominance
-    : public ::testing::TestWithParam<std::tuple<Distribution, int>> {};
+    : public ::testing::TestWithParam<std::tuple<Distribution, int, bool>> {
+};
 
 TEST_P(SkyStructureDominance, MatchesBruteForceScan) {
-  const auto [dist, d] = GetParam();
+  const auto [dist, d, batch] = GetParam();
   Fixture f(dist, 1500, d, 77);
-  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  DomCtx dom(f.ws.dims, f.ws.stride, /*use_simd=*/true, batch);
   SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
   // Append the first half as "known skyline".
   const size_t half = f.ws.count / 2;
@@ -97,7 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Distribution::kCorrelated,
                                          Distribution::kIndependent,
                                          Distribution::kAnticorrelated),
-                       ::testing::Values(2, 5, 8, 12)));
+                       ::testing::Values(2, 5, 8, 12),
+                       ::testing::Bool()));  // batched vs one-vs-one scan
 
 TEST(SkyStructure, MaskFiltersActuallySkipWork) {
   Fixture f(Distribution::kAnticorrelated, 3000, 8, 13);
