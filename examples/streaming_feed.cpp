@@ -2,14 +2,19 @@
 // Online skyline maintenance: keep the Pareto set of a live marketplace
 // feed (price vs delivery time vs defect rate) up to date as offers
 // arrive one at a time — the streaming complement to the batch
-// algorithms (see src/core/streaming.h).
+// algorithms (see src/core/streaming.h). Part two replays the feed
+// through the serving layer's point-delta path: inserts route to their
+// shard and repair only that shard's skyline; deletes re-promote the
+// offers the removed ones had been hiding.
 //
 //   $ ./streaming_feed
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "core/streaming.h"
+#include "query/engine.h"
 
 int main() {
   sky::StreamingSkyline live(3);
@@ -17,12 +22,15 @@ int main() {
 
   size_t accepted = 0;
   constexpr size_t kOffers = 500'000;
+  std::vector<float> all_offers;
+  all_offers.reserve(kOffers * 3);
   for (size_t i = 0; i < kOffers; ++i) {
     // Offers improve slowly over time (sellers undercut each other).
     const float drift = 1.0f - 0.3f * static_cast<float>(i) / kOffers;
     const float price = drift * (10.0f + 90.0f * rng.NextFloat());
     const float days = 1.0f + 13.0f * rng.NextFloat();
     const float defects = 0.001f + 0.05f * rng.NextFloat();
+    all_offers.insert(all_offers.end(), {price, days, defects});
     accepted += live.Insert(std::vector<sky::Value>{price, days, defects},
                             static_cast<sky::PointId>(i));
 
@@ -47,5 +55,37 @@ int main() {
     std::printf("  offer %7u: %.2f EUR, %.1f days, %.3f defect rate\n",
                 ids[k], rows[k * 3], rows[k * 3 + 1], rows[k * 3 + 2]);
   }
+
+  // ---- Serving the feed: point deltas on a registered dataset ----
+  // The marketplace also answers ad-hoc skyline queries, so the
+  // snapshot lives in a sharded SkylineEngine. Offer churn does not
+  // re-register 500k rows: InsertPoints / DeletePoints repair only the
+  // touched shards' maintained skylines and invalidate only the cached
+  // results whose constraint box the delta can reach.
+  sky::SkylineEngine::Config cfg;
+  cfg.shards = 4;
+  cfg.shard_policy = sky::ShardPolicy::kMedianPivot;
+  sky::SkylineEngine engine(cfg);
+  engine.RegisterDataset("offers", sky::Dataset::FromRowMajor(3, all_offers));
+
+  const sky::QueryResult before = engine.Execute("offers", sky::QuerySpec{});
+  std::printf("\nserved frontier  : %zu offers across 4 shards\n",
+              before.ids.size());
+
+  // Three aggressive new offers arrive in one batch...
+  sky::Dataset batch = sky::Dataset::FromRowMajor(
+      3, {7.50f, 2.0f, 0.004f, 9.90f, 1.5f, 0.020f, 6.00f, 6.0f, 0.002f});
+  engine.InsertPoints("offers", batch);
+  // ...and the cheapest two incumbent frontier offers are retracted.
+  // Deleting a skyline member re-promotes whatever it alone dominated.
+  const std::vector<sky::PointId> retracted{before.ids[0], before.ids[1]};
+  engine.DeletePoints("offers", retracted);
+
+  const sky::QueryResult after = engine.Execute("offers", sky::QuerySpec{});
+  std::printf("after churn      : %zu offers on the frontier (delta v%llu, "
+              "%zu rows total)\n",
+              after.ids.size(),
+              static_cast<unsigned long long>(engine.MinorVersion("offers")),
+              engine.Find("offers")->count());
   return 0;
 }

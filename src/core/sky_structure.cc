@@ -60,6 +60,67 @@ void SkyStructure::Append(const WorkingSet& ws, size_t begin, size_t len,
   partitions_.push_back({FullMask(dims_) + 1, static_cast<uint32_t>(count_)});
 }
 
+size_t SkyStructure::Remove(std::span<const PointId> drop,
+                            const DomCtx& dom) {
+  if (drop.empty() || count_ == 0) return 0;
+  std::vector<PointId> sorted(drop.begin(), drop.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto dropped = [&](PointId id) {
+    return std::binary_search(sorted.begin(), sorted.end(), id);
+  };
+
+  const size_t stride = static_cast<size_t>(stride_);
+  const size_t row_bytes = sizeof(Value) * stride;
+  std::vector<PartEntry> kept_parts;
+  kept_parts.reserve(partitions_.size());
+  size_t w = 0;
+  size_t removed = 0;
+  const size_t nparts = partitions_.size() - 1;
+  for (size_t k = 0; k < nparts; ++k) {
+    const Mask pmask = partitions_[k].mask;
+    const uint32_t s = partitions_[k].start;
+    const uint32_t t = partitions_[k + 1].start;
+    size_t new_pivot = 0;
+    bool pivot_set = false;
+    bool pivot_moved = false;
+    for (uint32_t j = s; j < t; ++j) {
+      if (dropped(ids_[j])) {
+        ++removed;
+        continue;
+      }
+      if (w != j) {
+        std::memcpy(rows_.data() + w * stride, Row(j), row_bytes);
+        ids_[w] = ids_[j];
+        masks_[w] = masks_[j];
+      }
+      if (!pivot_set) {
+        pivot_set = true;
+        new_pivot = w;
+        pivot_moved = (j != s);
+        masks_[w] = pmask;  // the pivot stores the level-1 mask
+        kept_parts.push_back({pmask, static_cast<uint32_t>(w)});
+      } else if (pivot_moved) {
+        masks_[w] = dom.PartitionMask(rows_.data() + w * stride,
+                                      rows_.data() + new_pivot * stride);
+      }
+      ++w;
+    }
+  }
+  count_ = w;
+  ids_.resize(count_);
+  masks_.resize(count_);
+  partitions_ = std::move(kept_parts);
+  if (count_ > 0) {
+    partitions_.push_back(
+        {FullMask(dims_) + 1, static_cast<uint32_t>(count_)});
+  }
+  // The previous append span is meaningless after a repack.
+  last_append_begin_ = count_;
+  tiles_.Clear();
+  for (size_t i = 0; i < count_; ++i) tiles_.PushRow(Row(i));
+  return removed;
+}
+
 bool SkyStructure::Dominated(const Value* q, Mask qmask, const DomCtx& dom,
                              uint64_t* dts, uint64_t* skips) const {
   if (partitions_.empty()) return false;
@@ -149,6 +210,18 @@ void SkyStructure::CheckInvariants() const {
     SKY_CHECK(masks_[partitions_[k].start] == partitions_[k].mask);
   }
   SKY_CHECK(ids_.size() == count_ && masks_.size() == count_);
+  // The SoA mirror must track rows_ bit-identically (NaN payloads
+  // included), lane for lane — a stale mirror would silently corrupt the
+  // batched Dominated scan after a remove/repack.
+  SKY_CHECK(tiles_.size() == count_);
+  for (size_t i = 0; i < count_; ++i) {
+    const Value* lane = tiles_.Tile(i / kSimdWidth) + i % kSimdWidth;
+    const Value* row = Row(i);
+    for (int j = 0; j < dims_; ++j) {
+      SKY_CHECK(std::memcmp(&lane[static_cast<size_t>(j) * kSimdWidth],
+                            &row[j], sizeof(Value)) == 0);
+    }
+  }
 }
 
 }  // namespace sky

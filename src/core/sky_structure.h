@@ -51,6 +51,17 @@ class SkyStructure {
   void Append(const WorkingSet& ws, size_t begin, size_t len,
               const DomCtx& dom);
 
+  /// Remove every stored point whose original id appears in `drop`,
+  /// compacting rows/ids/masks and the SoA tile mirror in place and
+  /// repairing the two-level partition map: emptied partitions vanish
+  /// and a partition whose pivot was removed promotes its first survivor
+  /// (whose stored mask becomes the partition's level-1 mask; the other
+  /// survivors' level-2 masks are recomputed against the new pivot).
+  /// Afterwards LastAppended() is empty — a removal-triggered repack
+  /// shifts indices, so the previous append span must not be read.
+  /// Returns the number of points removed.
+  size_t Remove(std::span<const PointId> drop, const DomCtx& dom);
+
   /// compareToSky (paper Algorithm 3): true iff some stored skyline point
   /// dominates q (which carries level-1 mask `qmask`). `dts`/`skips`
   /// accumulate dominance tests and mask-filter skips when non-null.

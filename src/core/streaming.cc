@@ -1,56 +1,131 @@
 // Copyright (c) SkyBench-NG contributors.
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "data/dataset.h"
 
 namespace sky {
+namespace {
+
+/// Window size at which an insert switches from the per-member Compare
+/// loop to the batched tile kernels. Below this the broadcast setup and
+/// mirror bookkeeping cost more than they save.
+constexpr size_t kStreamBatchMin = 64;
+
+}  // namespace
 
 StreamingSkyline::StreamingSkyline(int dims, bool use_simd)
     : stride_(Dataset::StrideFor(dims)),
-      dom_(dims, stride_, use_simd) {}
+      dom_(dims, stride_, use_simd) {
+  probe_.Reset(dims, 1);
+}
+
+void StreamingSkyline::EnsureCapacity(size_t need) {
+  if (need <= capacity_) return;
+  size_t new_cap = capacity_ == 0 ? 64 : capacity_;
+  while (new_cap < need) new_cap *= 2;
+  AlignedBuffer<Value> grown(new_cap * static_cast<size_t>(stride_));
+  if (count_ > 0) {
+    std::memcpy(grown.data(), rows_.data(),
+                sizeof(Value) * count_ * static_cast<size_t>(stride_));
+  }
+  rows_ = std::move(grown);
+  capacity_ = new_cap;
+  RebuildTiles();
+}
+
+void StreamingSkyline::RebuildTiles() {
+  tiles_.Reset(dom_.dims(), capacity_);
+  for (size_t i = 0; i < count_; ++i) tiles_.PushRow(Row(i));
+  for (size_t i = 0; i < count_; ++i) {
+    if (dead_[i]) tiles_.PadLane(i);
+  }
+}
 
 bool StreamingSkyline::Insert(std::span<const Value> point, PointId id) {
   SKY_CHECK(point.size() == static_cast<size_t>(dom_.dims()));
   ++inserted_;
-  // Stage the candidate into a padded scratch row (append slot).
   if (count_ == capacity_) {
     // Grow: compaction first (may free slots), then doubling.
     CompactIfNeeded();
-    if (count_ == capacity_) {
-      const size_t new_cap = capacity_ == 0 ? 64 : capacity_ * 2;
-      AlignedBuffer<Value> grown(new_cap * static_cast<size_t>(stride_));
-      if (count_ > 0) {
-        std::memcpy(grown.data(), rows_.data(),
-                    sizeof(Value) * count_ * static_cast<size_t>(stride_));
-      }
-      rows_ = std::move(grown);
-      capacity_ = new_cap;
-    }
+    EnsureCapacity(count_ + 1);
   }
+  // Stage the candidate into a padded scratch row (append slot).
   Value* candidate = MutableRow(count_);
   std::memset(candidate, 0, sizeof(Value) * static_cast<size_t>(stride_));
   std::memcpy(candidate, point.data(), sizeof(Value) * point.size());
 
-  // One pass: drop out if dominated; tombstone members the candidate
-  // dominates (a member cannot both dominate and be dominated).
-  for (size_t i = 0; i < count_; ++i) {
-    if (dead_.size() > i && dead_[i]) continue;
-    ++dts_;
-    const Relation rel = dom_.Compare(Row(i), candidate);
-    if (rel == Relation::kLeftDominates) return false;
-    if (rel == Relation::kRightDominates) {
-      dead_[i] = 1;
-      --live_;
+  if (count_ >= kStreamBatchMin) {
+    // Batched path. The window is an antichain, so a dominated candidate
+    // dominates no member and the reject test can run first. Tombstoned
+    // lanes are padded inert in the mirror, so both sweeps skip them for
+    // free.
+    if (dom_.DominatedByAny(candidate, tiles_, count_, &dts_)) return false;
+    probe_.Clear();
+    probe_.PushRow(candidate);
+    dead_before_.assign(dead_.begin(), dead_.end());
+    const size_t evicted =
+        dom_.FilterTile(rows_.data(), count_, probe_, dead_.data(), &dts_);
+    if (evicted > 0) {
+      live_ -= evicted;
+      for (size_t i = 0; i < count_; ++i) {
+        if (dead_[i] != dead_before_[i]) tiles_.PadLane(i);
+      }
+    }
+  } else {
+    // One pass: drop out if dominated; tombstone members the candidate
+    // dominates (a member cannot both dominate and be dominated).
+    for (size_t i = 0; i < count_; ++i) {
+      if (dead_[i]) continue;
+      ++dts_;
+      const Relation rel = dom_.Compare(Row(i), candidate);
+      if (rel == Relation::kLeftDominates) return false;
+      if (rel == Relation::kRightDominates) {
+        dead_[i] = 1;
+        --live_;
+        tiles_.PadLane(i);
+      }
     }
   }
   ids_.push_back(id);
   dead_.push_back(0);
+  tiles_.PushRow(candidate);
   ++count_;
   ++live_;
   CompactIfNeeded();
   return true;
+}
+
+void StreamingSkyline::Seed(const Dataset& data,
+                            std::span<const PointId> members) {
+  SKY_CHECK(count_ == 0);
+  if (members.empty()) return;
+  EnsureCapacity(members.size());
+  for (size_t k = 0; k < members.size(); ++k) {
+    Value* dst = MutableRow(k);
+    std::memset(dst, 0, sizeof(Value) * static_cast<size_t>(stride_));
+    std::memcpy(dst, data.Row(members[k]),
+                sizeof(Value) * static_cast<size_t>(dom_.dims()));
+  }
+  ids_.assign(members.begin(), members.end());
+  dead_.assign(members.size(), 0);
+  count_ = live_ = members.size();
+  RebuildTiles();
+}
+
+bool StreamingSkyline::Remove(PointId id) {
+  for (size_t i = 0; i < count_; ++i) {
+    if (!dead_[i] && ids_[i] == id) {
+      dead_[i] = 1;
+      --live_;
+      tiles_.PadLane(i);
+      CompactIfNeeded();
+      return true;
+    }
+  }
+  return false;
 }
 
 void StreamingSkyline::CompactIfNeeded() {
@@ -68,6 +143,7 @@ void StreamingSkyline::CompactIfNeeded() {
   count_ = write;
   ids_.resize(write);
   dead_.assign(write, 0);
+  RebuildTiles();
 }
 
 std::vector<PointId> StreamingSkyline::Ids() const {

@@ -1,8 +1,10 @@
 // Copyright (c) SkyBench-NG contributors.
-// Incrementally maintained skyline under point insertions — a natural
-// extension of the paper's global-shared-skyline paradigm for online
-// feeds (the α-block flow processes a static file; this class handles
-// one-at-a-time arrivals). Not part of the paper's evaluation.
+// Incrementally maintained skyline under point insertions and removals —
+// a natural extension of the paper's global-shared-skyline paradigm for
+// online feeds (the α-block flow processes a static file; this class
+// handles one-at-a-time arrivals), and the per-shard repair primitive
+// behind SkylineEngine::InsertPoints / DeletePoints. Not part of the
+// paper's evaluation.
 #ifndef SKY_CORE_STREAMING_H_
 #define SKY_CORE_STREAMING_H_
 
@@ -11,14 +13,21 @@
 
 #include "common/aligned.h"
 #include "common/types.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 
 namespace sky {
 
+class Dataset;
+
 /// BNL-style dynamic skyline window over padded rows. Insertion is
 /// O(|skyline| * d/8) with the SIMD kernels; dominated members are
 /// tombstoned and compacted amortizedly. Coincident duplicates of skyline
-/// members are retained, matching the batch algorithms.
+/// members are retained, matching the batch algorithms' "coincident
+/// points never dominate" convention. A SoA tile mirror of the window
+/// (tombstoned slots padded inert) lets large windows scan through the
+/// batched DominatedByAny / FilterTile kernels instead of one
+/// Compare per member.
 class StreamingSkyline {
  public:
   explicit StreamingSkyline(int dims, bool use_simd = true);
@@ -27,6 +36,19 @@ class StreamingSkyline {
   /// true iff the point is in the current skyline (i.e. was not
   /// dominated). May evict previously inserted members it dominates.
   bool Insert(std::span<const Value> point, PointId id);
+
+  /// Bulk-load a known antichain with no dominance scans: member k is
+  /// data.Row(members[k]), inserted under id members[k]. The window must
+  /// be empty. Callers are trusted that no member dominates another —
+  /// this is the seed step of shard-skyline repair, where the members
+  /// are an already-computed skyline.
+  void Seed(const Dataset& data, std::span<const PointId> members);
+
+  /// Tombstone the live member carrying `id` with no dominance
+  /// semantics — the caller decides what, if anything, to re-promote
+  /// (deletion repair re-inserts the candidates the removed member had
+  /// been suppressing). Returns false if no live member carries the id.
+  bool Remove(PointId id);
 
   /// Number of current skyline members.
   size_t size() const { return live_; }
@@ -46,7 +68,11 @@ class StreamingSkyline {
   uint64_t dominance_tests() const { return dts_; }
 
  private:
+  void EnsureCapacity(size_t need);
   void CompactIfNeeded();
+  /// Rebuild the SoA mirror from rows_/dead_ (after growth or
+  /// compaction, when slot indices move).
+  void RebuildTiles();
   const Value* Row(size_t i) const {
     return rows_.data() + i * static_cast<size_t>(stride_);
   }
@@ -57,8 +83,11 @@ class StreamingSkyline {
   int stride_;
   DomCtx dom_;
   AlignedBuffer<Value> rows_;   // capacity_ * stride_
+  TileBlock tiles_;             // SoA mirror; lane i == slot i, dead padded
+  TileBlock probe_;             // 1-point scratch tile (eviction sweeps)
   std::vector<PointId> ids_;
   std::vector<uint8_t> dead_;
+  std::vector<uint8_t> dead_before_;  // scratch: dead_ snapshot per insert
   size_t count_ = 0;     // slots in use (incl. tombstones)
   size_t live_ = 0;      // live members
   size_t capacity_ = 0;  // allocated rows

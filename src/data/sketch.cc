@@ -234,4 +234,68 @@ StatsSketch ComputeSketch(const Dataset& data, uint64_t seed) {
   return sk;
 }
 
+void UpdateSketchOnInsert(StatsSketch& sketch, const Value* rows, int stride,
+                          size_t count) {
+  if (count == 0) return;
+  const size_t new_n = sketch.n + count;
+  // Rescale along the fitted power law *before* n moves (the estimator
+  // extrapolates relative to the sketched n).
+  sketch.est_skyline = sketch.EstimateSkylineAt(static_cast<double>(new_n));
+  const double w_old = static_cast<double>(sketch.n);
+  for (int j = 0; j < sketch.d && static_cast<size_t>(j) < sketch.dims.size();
+       ++j) {
+    DimStats& ds = sketch.dims[static_cast<size_t>(j)];
+    // NaN coordinates are excluded, matching ComputeSketch.
+    double sum = 0.0, sum_sq = 0.0;
+    size_t finite = 0;
+    Value lo = ds.min, hi = ds.max;
+    for (size_t i = 0; i < count; ++i) {
+      const Value v = rows[i * static_cast<size_t>(stride) +
+                           static_cast<size_t>(j)];
+      if (std::isnan(v)) continue;
+      ++finite;
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+      if (sketch.n == 0 && finite == 1) {
+        lo = hi = v;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (finite == 0) continue;
+    ds.min = lo;
+    ds.max = hi;
+    // Weighted moment merge: treat the sampled mean/variance as exact
+    // over the old n — an approximation consistent with the sketch being
+    // sample-based in the first place.
+    const double w_new = static_cast<double>(finite);
+    const double w = w_old + w_new;
+    const double mean_new = sum / w_new;
+    const double var_new = std::max(0.0, sum_sq / w_new - mean_new * mean_new);
+    const double delta = mean_new - ds.mean;
+    const double mean = ds.mean + delta * (w_new / w);
+    ds.variance = (w_old * ds.variance + w_new * var_new +
+                   w_old * w_new * delta * delta / w) /
+                  w;
+    ds.mean = mean;
+  }
+  sketch.n = new_n;
+  sketch.mutated_rows += count;
+}
+
+void UpdateSketchOnDelete(StatsSketch& sketch, size_t count) {
+  if (count == 0) return;
+  const size_t new_n = sketch.n >= count ? sketch.n - count : 0;
+  sketch.est_skyline = sketch.EstimateSkylineAt(static_cast<double>(new_n));
+  sketch.n = new_n;
+  sketch.mutated_rows += count;
+}
+
+bool SketchNeedsRebuild(const StatsSketch& sketch) {
+  // A quarter of the rows churned ≈ the point where the frozen quantile
+  // and correlation samples stop being representative.
+  return sketch.StaleFraction() >= 0.25;
+}
+
 }  // namespace sky

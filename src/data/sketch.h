@@ -51,6 +51,20 @@ struct StatsSketch {
   /// estimation; empty for an empty dataset.
   std::vector<std::vector<Value>> quantiles;
 
+  /// Rows inserted or deleted since the last exact ComputeSketch. The
+  /// incremental updates below keep n exact and the moments close, but
+  /// quantiles and correlation drift — StaleFraction() is the drift
+  /// bound the cost model damps its estimates by.
+  uint64_t mutated_rows = 0;
+
+  /// Mutated fraction of the current row count, in [0, 1].
+  double StaleFraction() const {
+    if (n == 0) return mutated_rows == 0 ? 0.0 : 1.0;
+    const double f =
+        static_cast<double>(mutated_rows) / static_cast<double>(n);
+    return f > 1.0 ? 1.0 : f;
+  }
+
   /// Fraction of rows whose dimension `dim` falls in [lo, hi] (closed),
   /// estimated from the quantile sample. Returns 1.0 when the sketch is
   /// empty or `dim` is out of range (never prunes on ignorance).
@@ -65,6 +79,24 @@ struct StatsSketch {
 /// O(sample) — bounded regardless of n — so it is safe to run inside
 /// every RegisterDataset / ShardMap::Build.
 StatsSketch ComputeSketch(const Dataset& data, uint64_t seed = 42);
+
+/// Fold `count` inserted AoS rows (`stride` floats apart, first of them
+/// at `rows`) into the sketch without a rebuild: n is exact, per-
+/// dimension min/max grow exactly, mean/variance merge by weight, and
+/// est_skyline is rescaled to the new n along the fitted power law.
+/// Quantiles and the Spearman estimate keep their last sampled values —
+/// mutated_rows records the drift for StaleFraction().
+void UpdateSketchOnInsert(StatsSketch& sketch, const Value* rows, int stride,
+                          size_t count);
+
+/// Account `count` deleted rows: n shrinks exactly and est_skyline is
+/// rescaled down the power law; min/max/moments are left unchanged
+/// (conservative — a deletion can only narrow the true range).
+void UpdateSketchOnDelete(StatsSketch& sketch, size_t count);
+
+/// True once the accumulated mutation drift (StaleFraction) crosses the
+/// rebuild threshold — callers should then re-run ComputeSketch exactly.
+bool SketchNeedsRebuild(const StatsSketch& sketch);
 
 }  // namespace sky
 

@@ -44,6 +44,13 @@ void TileBlock::AppendRows(const Value* rows, int stride, size_t count) {
   }
 }
 
+void TileBlock::PadLane(size_t i) {
+  SKY_DCHECK(i < count_);
+  Value* lane = soa_.data() + (i / kSimdWidth) * tile_floats_ +
+                i % kSimdWidth;
+  for (int j = 0; j < dims_; ++j) lane[j * kSimdWidth] = kTileLanePad;
+}
+
 uint32_t TileDominatesScalar(const Value* q, const Value* tile, int dims,
                              uint32_t lane_mask) {
   uint32_t out = 0;

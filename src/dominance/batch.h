@@ -73,6 +73,13 @@ class TileBlock {
   /// row range).
   void AppendRows(const Value* rows, int stride, size_t count);
 
+  /// Deactivate point i's lane: overwrite every dimension with
+  /// kTileLanePad so the lane is inert in every kernel (a padded lane
+  /// can never dominate anything). The slot still counts toward size();
+  /// re-padding an already-padded lane is a harmless no-op. This is the
+  /// removal primitive for callers that mirror a tombstoned window.
+  void PadLane(size_t i);
+
   int dims() const { return dims_; }
   size_t size() const { return count_; }
   size_t capacity() const { return capacity_; }

@@ -92,7 +92,14 @@ double EstimateConstraintSelectivity(
   for (const DimConstraint& c : constraints) {
     sel *= sketch.EstimateIntervalSelectivity(c.dim, c.lo, c.hi);
   }
-  return std::clamp(sel, 0.0, 1.0);
+  sel = std::clamp(sel, 0.0, 1.0);
+  // Incremental mutations freeze the quantile sample (data/sketch.h), so
+  // the estimate drifts as rows churn. Damp toward the conservative 1.0
+  // ("everything survives the constraint") in proportion to the mutated
+  // fraction: a stale sketch then over-budgets rather than under-plans,
+  // and a rebuilt sketch (StaleFraction 0) keeps today's exact behavior.
+  const double stale = sketch.StaleFraction();
+  return sel + (1.0 - sel) * stale;
 }
 
 Algorithm ChooseAlgorithmForDataset(const Dataset& data,

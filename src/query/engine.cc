@@ -16,6 +16,7 @@
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
 #include "query/cost_model.h"
+#include "query/delta.h"
 #include "query/view.h"
 
 namespace sky {
@@ -162,7 +163,7 @@ std::shared_ptr<const QueryView> ViewOfShard(
     const ShardViewProvider& provider) {
   if (provider) return provider(shard_index);
   return std::make_shared<const QueryView>(
-      MaterializeView(map.shard(shard_index).data, canon));
+      MaterializeView(map.shard(shard_index).rows(), canon));
 }
 
 /// Merge + finish: the interpreter for a planner-produced ExecutionPlan.
@@ -205,7 +206,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     one_opts.algorithm = algo_of(0);
     QueryResult one;
     if (identity) {
-      one = RunOnTarget(shard.data, &shard.row_ids, canon, one_opts);
+      one = RunOnTarget(shard.rows(), &shard.row_ids, canon, one_opts);
     } else {
       const std::shared_ptr<const QueryView> view =
           ViewOfShard(map, plan.shards[0], canon, provider);
@@ -237,8 +238,17 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   const auto run_shard = [&](size_t s) {
     const Shard& shard = map.shard(plan.shards[s]);
     ShardPartial& p = parts[s];
+    if (identity && canon.band_k == 1 && shard.skyline != nullptr) {
+      // The mutation path maintains exactly this shard's skyline: hand
+      // the merge the precomputed candidates and skip the per-shard
+      // compute. Constrained or view-transformed specs cannot take this
+      // shortcut (filtering changes the dominance set), but identity is
+      // the common serving case and the one mutations repair for.
+      p.cand_rows = *shard.skyline;
+      return;
+    }
     if (!identity) p.view = ViewOfShard(map, plan.shards[s], canon, provider);
-    const Dataset& target = identity ? shard.data : p.view->data;
+    const Dataset& target = identity ? shard.rows() : p.view->data;
     if (target.count() == 0) return;
     Options one = shard_opts;
     one.algorithm = algo_of(s);
@@ -272,7 +282,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   size_t total = 0;
   for (size_t s = 0; s < n_shards; ++s) {
     const Dataset& target =
-        identity ? map.shard(plan.shards[s]).data : parts[s].view->data;
+        identity ? map.shard(plan.shards[s]).rows() : parts[s].view->data;
     r.matched_rows += target.count();
     total += parts[s].cand_rows.size();
     AccumulateStats(r.stats, parts[s].stats);
@@ -290,7 +300,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   for (size_t s = 0; s < n_shards; ++s) {
     const Shard& shard = map.shard(plan.shards[s]);
     const ShardPartial& p = parts[s];
-    const Dataset& target = identity ? shard.data : p.view->data;
+    const Dataset& target = identity ? shard.rows() : p.view->data;
     for (const PointId row : p.cand_rows) {
       std::memcpy(merged.MutableRow(w), target.Row(row), row_bytes);
       merged_ids[w] =
@@ -408,7 +418,8 @@ QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
 size_t QueryResultBytes(const QueryResult& r) {
   return sizeof(QueryResult) + r.ids.size() * sizeof(PointId) +
          r.dominator_counts.size() * sizeof(uint32_t) +
-         r.shard_algorithms.size() * sizeof(Algorithm);
+         r.shard_algorithms.size() * sizeof(Algorithm) +
+         r.constraints.size() * sizeof(DimConstraint);
 }
 
 bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
@@ -515,6 +526,8 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
         ShardMap::Build(*holder, shards, policy));
   }
   auto sketch = std::make_shared<const StatsSketch>(ComputeSketch(*holder));
+  const int dims = holder->dims();
+  const size_t count = holder->count();
   uint64_t replaced_version = 0;
   uint64_t version = 0;
   {
@@ -523,7 +536,8 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
     if (it != registry_.end()) replaced_version = it->second.version;
     version = next_version_++;
     registry_[name] = Registered{std::move(holder), std::move(map),
-                                 std::move(sketch), version};
+                                 std::move(sketch), version,
+                                 /*minor=*/0, dims, count};
   }
   // The old generation can never be served again (versions are never
   // reused); free its results instead of letting them squat in the LRU.
@@ -552,11 +566,65 @@ bool SkylineEngine::EvictDataset(const std::string& name) {
   return true;
 }
 
+namespace {
+
+/// Whole-dataset rows of a mutated sharded generation: every shard row
+/// is copied back to its current global id. O(n), done at most once per
+/// minor version (Find caches the result back into the registry entry).
+std::shared_ptr<const Dataset> ReconcatenateRows(const ShardMap& map,
+                                                 int dims, size_t count) {
+  auto rebuilt = std::make_shared<Dataset>(dims, count);
+  for (size_t s = 0; s < map.shard_count(); ++s) {
+    const Shard& shard = map.shard(s);
+    const Dataset& rows = shard.rows();
+    const size_t row_bytes =
+        sizeof(Value) * static_cast<size_t>(rows.stride());
+    for (size_t i = 0; i < rows.count(); ++i) {
+      std::memcpy(rebuilt->MutableRow(shard.row_ids[i]), rows.Row(i),
+                  row_bytes);
+    }
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
 std::shared_ptr<const Dataset> SkylineEngine::Find(
     const std::string& name) const {
-  std::shared_lock lock(registry_mu_);
-  auto it = registry_.find(name);
-  return it == registry_.end() ? nullptr : it->second.data;
+  std::shared_ptr<const ShardMap> shards;
+  uint64_t version = 0;
+  uint64_t minor = 0;
+  int dims = 0;
+  size_t count = 0;
+  {
+    std::shared_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) return nullptr;
+    if (it->second.data != nullptr) return it->second.data;
+    // A mutated sharded generation: the truth lives in the shards
+    // (mutation kept the repair O(shard) by not rebuilding this).
+    shards = it->second.shards;
+    version = it->second.version;
+    minor = it->second.minor;
+    dims = it->second.dims;
+    count = it->second.count;
+  }
+  std::shared_ptr<const Dataset> rebuilt =
+      ReconcatenateRows(*shards, dims, count);
+  // Cache the concatenation back so repeated Finds at the same minor pay
+  // once, gated on the generation still being current. Find is logically
+  // const — this only fills a memo slot derived from immutable shards.
+  SkylineEngine* self = const_cast<SkylineEngine*>(this);
+  std::unique_lock lock(self->registry_mu_);
+  auto it = self->registry_.find(name);
+  if (it == self->registry_.end()) return rebuilt;
+  if (it->second.version == version && it->second.minor == minor) {
+    if (it->second.data == nullptr) {
+      it->second.data = rebuilt;
+    }
+    return it->second.data;
+  }
+  return rebuilt;
 }
 
 std::shared_ptr<const ShardMap> SkylineEngine::FindShards(
@@ -574,24 +642,46 @@ std::shared_ptr<const StatsSketch> SkylineEngine::FindSketch(
 }
 
 void SkylineEngine::PutResultIfCurrent(
-    const std::string& name, uint64_t version, const std::string& key,
-    std::shared_ptr<const QueryResult> value) {
+    const std::string& name, uint64_t version, uint64_t minor,
+    const std::string& key, std::shared_ptr<const QueryResult> value) {
   // Lock order: registry (shared) -> cache mutex; no path takes them in
   // the other order, and RegisterDataset's purge runs after it released
-  // the registry lock, so it must observe this insert.
+  // the registry lock, so it must observe this insert. The minor check
+  // closes the in-flight-mutation race the same way: a computation that
+  // started before an InsertPoints/DeletePoints batch published cannot
+  // cache its (pre-mutation) answer afterwards.
   std::shared_lock lock(registry_mu_);
   auto it = registry_.find(name);
-  if (it == registry_.end() || it->second.version != version) return;
+  if (it == registry_.end() || it->second.version != version ||
+      it->second.minor != minor) {
+    return;
+  }
   cache_.Put(key, std::move(value));
 }
 
 void SkylineEngine::PutViewIfCurrent(const std::string& name,
-                                     uint64_t version, const std::string& key,
+                                     uint64_t version, uint64_t minor,
+                                     const std::string& key,
                                      std::shared_ptr<const QueryView> value) {
   std::shared_lock lock(registry_mu_);
   auto it = registry_.find(name);
-  if (it == registry_.end() || it->second.version != version) return;
+  if (it == registry_.end() || it->second.version != version ||
+      it->second.minor != minor) {
+    return;
+  }
   view_cache_.Put(key, std::move(value));
+}
+
+void SkylineEngine::PutSelectivityIfCurrent(
+    const std::string& name, uint64_t version, uint64_t minor,
+    const std::string& key, std::shared_ptr<const SelectivityEntry> value) {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end() || it->second.version != version ||
+      it->second.minor != minor) {
+    return;
+  }
+  selectivity_cache_.Put(key, std::move(value));
 }
 
 std::vector<std::string> SkylineEngine::DatasetNames() const {
@@ -609,16 +699,23 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   std::shared_ptr<const ShardMap> shards;
   std::shared_ptr<const StatsSketch> sketch;
   uint64_t version = 0;
+  uint64_t minor = 0;
+  int dims = 0;
   {
     std::shared_lock lock(registry_mu_);
     auto it = registry_.find(name);
     if (it == registry_.end()) {
       throw std::runtime_error("query engine: unknown dataset '" + name + "'");
     }
+    // `data` may be null for a mutated sharded generation (the truth
+    // lives in the shards); every path below that dereferences it is an
+    // unsharded path, where it is always populated.
     data = it->second.data;
     shards = it->second.shards;
     sketch = it->second.sketch;
     version = it->second.version;
+    minor = it->second.minor;
+    dims = it->second.dims;
   }
 
   // Serving-wide auto-selection overrides the caller's algorithm; the
@@ -629,8 +726,10 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   // Canonicalize before keying so equivalent spellings share an entry.
   // Sharding and algorithm choice are invisible to the key: results are
   // row-for-row identical for every K and every algorithm, so one entry
-  // serves all decompositions and selections.
-  const QuerySpec canon = spec.Canonicalize(data->dims());
+  // serves all decompositions and selections. Minor versions are
+  // invisible too — a mutation edits the entries under these keys in
+  // place (remap or erase) rather than abandoning them.
+  const QuerySpec canon = spec.Canonicalize(dims);
   const std::string prefix = CacheKeyPrefix(name, version);
   const std::string key = prefix + canon.CanonicalKey();
   if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
@@ -652,16 +751,16 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     ctx.selectivity = 1.0;
     if (!canon.constraints.empty()) {
       const std::string sel_key = prefix + "sel|" + canon.ViewKey();
-      if (std::shared_ptr<const double> sel = selectivity_cache_.Get(sel_key)) {
-        ctx.selectivity = *sel;
+      if (std::shared_ptr<const SelectivityEntry> sel =
+              selectivity_cache_.Get(sel_key)) {
+        ctx.selectivity = sel->value;
       } else {
         ctx.selectivity =
             EstimateConstraintSelectivity(*sketch, canon.constraints);
-        // No version re-check needed (unlike PutResultIfCurrent): a
-        // stale insert is unreachable — every Get keys on the current
-        // version — and costs one 8-byte LRU slot until evicted.
-        selectivity_cache_.Put(sel_key,
-                               std::make_shared<const double>(ctx.selectivity));
+        auto entry = std::make_shared<const SelectivityEntry>(
+            SelectivityEntry{ctx.selectivity, canon.constraints});
+        PutSelectivityIfCurrent(name, version, minor, sel_key,
+                                std::move(entry));
       }
     }
     eff.algorithm = canon.band_k == 1 ? ChooseAlgorithm(*sketch, ctx).algorithm
@@ -679,9 +778,13 @@ QueryResult SkylineEngine::Execute(const std::string& name,
                                    canon.ViewKey();
       std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
       if (view == nullptr) {
-        view = std::make_shared<const QueryView>(
-            MaterializeView(shards->shard(shard_index).data, canon));
-        PutViewIfCurrent(name, version, view_key, view);
+        QueryView built =
+            MaterializeView(shards->shard(shard_index).rows(), canon);
+        built.constraints = canon.constraints;
+        built.source_shard = static_cast<int>(shard_index);
+        auto holder = std::make_shared<const QueryView>(std::move(built));
+        PutViewIfCurrent(name, version, minor, view_key, holder);
+        view = std::move(holder);
       }
       return view;
     };
@@ -697,19 +800,372 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
     double build_seconds = 0.0;
     if (view == nullptr) {
-      auto built =
-          std::make_shared<const QueryView>(MaterializeView(*data, canon));
-      build_seconds = built->materialize_seconds;
-      PutViewIfCurrent(name, version, view_key, built);
-      view = std::move(built);
+      QueryView built = MaterializeView(*data, canon);
+      built.constraints = canon.constraints;
+      built.source_shard = -1;
+      auto holder = std::make_shared<const QueryView>(std::move(built));
+      build_seconds = holder->materialize_seconds;
+      PutViewIfCurrent(name, version, minor, view_key, holder);
+      view = std::move(holder);
     }
     fresh = RunOnTarget(view->data, &view->row_ids, canon, eff);
     fresh.stats.other_seconds += build_seconds;
     fresh.stats.total_seconds += build_seconds;
   }
-  PutResultIfCurrent(name, version, key,
+  fresh.constraints = canon.constraints;
+  PutResultIfCurrent(name, version, minor, key,
                      std::make_shared<const QueryResult>(fresh));
   return fresh;
+}
+
+namespace {
+
+/// Grow [lo, hi] to cover `row`, per-dim, NaN coordinates excluded (the
+/// same convention as the shard boxes: a NaN coordinate can never satisfy
+/// a closed-interval constraint, and any row that does satisfy one has a
+/// non-NaN, box-covered coordinate there — so box-miss still proves no
+/// mutated row is inside the constraint region).
+void GrowBox(std::vector<Value>& lo, std::vector<Value>& hi,
+             const Value* row, int dims) {
+  for (int j = 0; j < dims; ++j) {
+    if (row[j] < lo[static_cast<size_t>(j)]) {
+      lo[static_cast<size_t>(j)] = row[j];
+    }
+    if (row[j] > hi[static_cast<size_t>(j)]) {
+      hi[static_cast<size_t>(j)] = row[j];
+    }
+  }
+}
+
+std::vector<Value> EmptyBoxLo(int dims) {
+  return std::vector<Value>(static_cast<size_t>(dims),
+                            std::numeric_limits<Value>::infinity());
+}
+
+std::vector<Value> EmptyBoxHi(int dims) {
+  return std::vector<Value>(static_cast<size_t>(dims),
+                            -std::numeric_limits<Value>::infinity());
+}
+
+}  // namespace
+
+uint64_t SkylineEngine::MinorVersion(const std::string& name) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  return it == registry_.end() ? 0 : it->second.minor;
+}
+
+uint64_t SkylineEngine::InsertPoints(const std::string& name,
+                                     const Dataset& rows) {
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  // The repair runs without the registry lock (every input is an
+  // immutable COW snapshot); publish revalidates under the exclusive
+  // lock. mutation_mu_ keeps other mutation batches out, but a
+  // concurrent RegisterDataset can still replace the generation
+  // mid-repair — the repair is then discarded and retried against the
+  // new generation.
+  for (;;) {
+    std::shared_ptr<const Dataset> data;
+    std::shared_ptr<const ShardMap> map;
+    std::shared_ptr<const StatsSketch> sketch;
+    uint64_t version = 0;
+    uint64_t minor = 0;
+    int dims = 0;
+    size_t count = 0;
+    {
+      std::shared_lock lock(registry_mu_);
+      auto it = registry_.find(name);
+      if (it == registry_.end()) {
+        throw std::runtime_error("query engine: unknown dataset '" + name +
+                                 "'");
+      }
+      data = it->second.data;
+      map = it->second.shards;
+      sketch = it->second.sketch;
+      version = it->second.version;
+      minor = it->second.minor;
+      dims = it->second.dims;
+      count = it->second.count;
+    }
+    if (rows.dims() != dims) {
+      throw std::runtime_error(
+          "query engine: InsertPoints dimensionality mismatch");
+    }
+    const size_t add = rows.count();
+    if (add == 0) return minor;  // nothing mutated: no bump, no fixup
+
+    std::vector<Value> mut_lo = EmptyBoxLo(dims);
+    std::vector<Value> mut_hi = EmptyBoxHi(dims);
+    for (size_t b = 0; b < add; ++b) GrowBox(mut_lo, mut_hi, rows.Row(b), dims);
+
+    std::shared_ptr<const Dataset> new_data;
+    std::shared_ptr<const ShardMap> new_map = map;
+    std::vector<uint8_t> touched;
+    auto new_sketch = std::make_shared<StatsSketch>(*sketch);
+    if (map != nullptr) {
+      // Route each batch row to its shard, rebuild only the shards that
+      // received rows (delta.h repairs their skyline / box / sketch
+      // incrementally), and share every other shard by pointer. The
+      // whole-dataset `data` mirror is dropped — Find() reconcatenates
+      // lazily — so the batch costs O(touched shards), not O(n).
+      const size_t n_shards = map->shard_count();
+      std::vector<std::vector<size_t>> routed(n_shards);
+      for (size_t b = 0; b < add; ++b) {
+        routed[map->RouteInsert(rows.Row(b))].push_back(b);
+      }
+      ShardMap next = *map;
+      touched.assign(n_shards, 0);
+      std::vector<size_t> touched_idx;
+      for (size_t s = 0; s < n_shards; ++s) {
+        if (routed[s].empty()) continue;
+        touched[s] = 1;
+        touched_idx.push_back(s);
+      }
+      // Each touched shard's repair is an independent pure function of
+      // immutable inputs, so the repairs run in parallel (a pool of 1
+      // runs inline with no synchronisation).
+      std::vector<std::shared_ptr<const Shard>> repaired(touched_idx.size());
+      ThreadPool repair_pool(std::min<int>(
+          ThreadPool::DefaultThreads(),
+          static_cast<int>(touched_idx.size())));
+      repair_pool.ParallelFor(
+          touched_idx.size(), 1, [&](size_t lo, size_t hi) {
+            for (size_t t = lo; t < hi; ++t) {
+              const size_t s = touched_idx[t];
+              repaired[t] = ShardWithInserts(map->shard(s), rows, routed[s],
+                                             static_cast<PointId>(count),
+                                             /*sketch_seed=*/version + s);
+            }
+          });
+      for (size_t t = 0; t < touched_idx.size(); ++t) {
+        next.ReplaceShard(touched_idx[t], std::move(repaired[t]));
+      }
+      new_map = std::make_shared<const ShardMap>(std::move(next));
+      UpdateSketchOnInsert(*new_sketch, rows.Row(0), rows.stride(), add);
+      if (SketchNeedsRebuild(*new_sketch)) {
+        *new_sketch =
+            ComputeSketch(*ReconcatenateRows(*new_map, dims, count + add));
+      }
+    } else {
+      new_data = std::make_shared<const Dataset>(
+          DatasetWithAppendedRows(*data, rows));
+      UpdateSketchOnInsert(*new_sketch, rows.Row(0), rows.stride(), add);
+      if (SketchNeedsRebuild(*new_sketch)) {
+        *new_sketch = ComputeSketch(*new_data);
+      }
+    }
+
+    std::unique_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      throw std::runtime_error("query engine: dataset '" + name +
+                               "' evicted during InsertPoints");
+    }
+    if (it->second.version != version) continue;  // replaced: retry
+    it->second.data = std::move(new_data);  // null for sharded datasets
+    it->second.shards = std::move(new_map);
+    it->second.sketch = std::move(new_sketch);
+    it->second.count = count + add;
+    const uint64_t bumped = ++it->second.minor;
+    FixupCachesLocked(CacheKeyPrefix(name, version), mut_lo, mut_hi, touched,
+                      /*id_shift=*/{});
+    return bumped;
+  }
+}
+
+uint64_t SkylineEngine::DeletePoints(const std::string& name,
+                                     std::span<const PointId> ids) {
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  for (;;) {
+    std::shared_ptr<const Dataset> data;
+    std::shared_ptr<const ShardMap> map;
+    std::shared_ptr<const StatsSketch> sketch;
+    uint64_t version = 0;
+    uint64_t minor = 0;
+    int dims = 0;
+    size_t count = 0;
+    {
+      std::shared_lock lock(registry_mu_);
+      auto it = registry_.find(name);
+      if (it == registry_.end()) {
+        throw std::runtime_error("query engine: unknown dataset '" + name +
+                                 "'");
+      }
+      data = it->second.data;
+      map = it->second.shards;
+      sketch = it->second.sketch;
+      version = it->second.version;
+      minor = it->second.minor;
+      dims = it->second.dims;
+      count = it->second.count;
+    }
+    std::vector<PointId> drop(ids.begin(), ids.end());
+    std::sort(drop.begin(), drop.end());
+    drop.erase(std::unique(drop.begin(), drop.end()), drop.end());
+    if (!drop.empty() && drop.back() >= count) {
+      throw std::runtime_error("query engine: DeletePoints id out of range");
+    }
+    if (drop.empty()) return minor;
+
+    // Compaction map: a surviving global id shifts down by the number of
+    // deleted ids below it.
+    std::vector<uint8_t> deleted(count, 0);
+    for (const PointId id : drop) deleted[id] = 1;
+    std::vector<uint32_t> shift(count, 0);
+    uint32_t cum = 0;
+    for (size_t i = 0; i < count; ++i) {
+      shift[i] = cum;
+      cum += deleted[i];
+    }
+
+    std::vector<Value> mut_lo = EmptyBoxLo(dims);
+    std::vector<Value> mut_hi = EmptyBoxHi(dims);
+    std::shared_ptr<const Dataset> new_data;
+    std::shared_ptr<const ShardMap> new_map = map;
+    std::vector<uint8_t> touched;
+    auto new_sketch = std::make_shared<StatsSketch>(*sketch);
+    if (map != nullptr) {
+      // Shards that lost rows get a delta repair (re-promotion scan +
+      // compaction); every other shard only has its global row ids
+      // compacted through `shift`, sharing rows / skyline / sketch with
+      // the old shard.
+      const size_t n_shards = map->shard_count();
+      ShardMap next = *map;
+      touched.assign(n_shards, 0);
+      std::vector<std::vector<PointId>> drop_locals(n_shards);
+      for (size_t s = 0; s < n_shards; ++s) {
+        const Shard& shard = map->shard(s);
+        for (size_t i = 0; i < shard.row_ids.size(); ++i) {
+          if (!deleted[shard.row_ids[i]]) continue;
+          drop_locals[s].push_back(static_cast<PointId>(i));
+          GrowBox(mut_lo, mut_hi, shard.rows().Row(i), dims);
+        }
+        touched[s] = !drop_locals[s].empty();
+      }
+      // Touched-shard repairs (re-promotion scan + compaction) are
+      // independent pure functions of immutable inputs; run them in
+      // parallel. The cheap id remaps stay sequential.
+      std::vector<std::shared_ptr<const Shard>> repaired(n_shards);
+      std::vector<size_t> touched_idx;
+      for (size_t s = 0; s < n_shards; ++s) {
+        if (touched[s]) touched_idx.push_back(s);
+      }
+      if (!touched_idx.empty()) {
+        ThreadPool repair_pool(std::min<int>(
+            ThreadPool::DefaultThreads(),
+            static_cast<int>(touched_idx.size())));
+        repair_pool.ParallelFor(
+            touched_idx.size(), 1, [&](size_t lo, size_t hi) {
+              for (size_t t = lo; t < hi; ++t) {
+                const size_t s = touched_idx[t];
+                repaired[s] =
+                    ShardWithDeletes(map->shard(s), drop_locals[s], shift,
+                                     /*sketch_seed=*/version + s);
+              }
+            });
+      }
+      for (size_t s = 0; s < n_shards; ++s) {
+        next.ReplaceShard(s, touched[s]
+                                 ? std::move(repaired[s])
+                                 : ShardWithRemappedIds(map->shard(s), shift));
+      }
+      new_map = std::make_shared<const ShardMap>(std::move(next));
+      UpdateSketchOnDelete(*new_sketch, drop.size());
+      if (SketchNeedsRebuild(*new_sketch)) {
+        *new_sketch = ComputeSketch(
+            *ReconcatenateRows(*new_map, dims, count - drop.size()));
+      }
+    } else {
+      for (const PointId id : drop) GrowBox(mut_lo, mut_hi, data->Row(id), dims);
+      new_data = std::make_shared<const Dataset>(
+          DatasetWithoutRows(*data, deleted));
+      UpdateSketchOnDelete(*new_sketch, drop.size());
+      if (SketchNeedsRebuild(*new_sketch)) {
+        *new_sketch = ComputeSketch(*new_data);
+      }
+    }
+
+    std::unique_lock lock(registry_mu_);
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      throw std::runtime_error("query engine: dataset '" + name +
+                               "' evicted during DeletePoints");
+    }
+    if (it->second.version != version) continue;  // replaced: retry
+    it->second.data = std::move(new_data);  // null for sharded datasets
+    it->second.shards = std::move(new_map);
+    it->second.sketch = std::move(new_sketch);
+    it->second.count = count - drop.size();
+    const uint64_t bumped = ++it->second.minor;
+    FixupCachesLocked(CacheKeyPrefix(name, version), mut_lo, mut_hi, touched,
+                      shift);
+    return bumped;
+  }
+}
+
+void SkylineEngine::FixupCachesLocked(
+    const std::string& prefix, const std::vector<Value>& mut_lo,
+    const std::vector<Value>& mut_hi,
+    const std::vector<uint8_t>& touched_shards,
+    const std::vector<uint32_t>& id_shift) {
+  const bool is_delete = !id_shift.empty();
+  // Result cache: an entry survives iff its constraint box provably
+  // excludes every mutated row — then no inserted or deleted row is in
+  // the constraint region, so its member set, dominator counts, and
+  // matched_rows are all unchanged. Deletes still compact the surviving
+  // ids through `id_shift` (no surviving entry can reference a deleted
+  // row: deleted rows are outside its box).
+  cache_.EditPrefix(
+      prefix,
+      [&](const std::string&, const std::shared_ptr<const QueryResult>& v)
+          -> std::shared_ptr<const QueryResult> {
+        if (v->constraints.empty() ||
+            BoxIntersectsConstraints(mut_lo, mut_hi, v->constraints)) {
+          return nullptr;
+        }
+        if (!is_delete) return v;
+        auto remapped = std::make_shared<QueryResult>(*v);
+        for (PointId& id : remapped->ids) id -= id_shift[id];
+        return remapped;
+      });
+  // View cache: a shard-cut view is the shard's rows filtered by the
+  // box, in shard-local numbering — it survives iff its shard was
+  // untouched (deletes included: shard-local indices only move when the
+  // shard itself loses rows, and the executor composes global ids from
+  // the *new* shard's row_ids). A whole-dataset view survives an insert
+  // iff its box excludes every inserted row; any delete erases it — its
+  // row_ids are global, and remapping them would deep-copy the
+  // dataset-sized view for little gain.
+  view_cache_.EditPrefix(
+      prefix,
+      [&](const std::string&, const std::shared_ptr<const QueryView>& v)
+          -> std::shared_ptr<const QueryView> {
+        if (v->source_shard >= 0) {
+          const size_t s = static_cast<size_t>(v->source_shard);
+          const bool untouched =
+              s < touched_shards.size() && touched_shards[s] == 0;
+          return untouched ? v : nullptr;
+        }
+        if (is_delete || v->constraints.empty() ||
+            BoxIntersectsConstraints(mut_lo, mut_hi, v->constraints)) {
+          return nullptr;
+        }
+        return v;
+      });
+  // Selectivity cache: estimates are advisory (they steer algorithm
+  // selection, never correctness), so box-excluded entries survive even
+  // though the total row count drifted; intersecting ones are
+  // re-estimated on the next miss from the staleness-damped sketch.
+  selectivity_cache_.EditPrefix(
+      prefix,
+      [&](const std::string&, const std::shared_ptr<const SelectivityEntry>& v)
+          -> std::shared_ptr<const SelectivityEntry> {
+        if (v->constraints.empty() ||
+            BoxIntersectsConstraints(mut_lo, mut_hi, v->constraints)) {
+          return nullptr;
+        }
+        return v;
+      });
 }
 
 }  // namespace sky

@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,10 @@ struct QueryResult {
   /// ComputeSkyband's block flow ignores it.
   std::vector<Algorithm> shard_algorithms;
   RunStats stats;           ///< stats of the run that produced the entry
+  /// Constraint box of the canonical spec that produced this result —
+  /// the mutation path's invalidation key: a cached result survives a
+  /// mutation iff its box provably excludes every mutated row.
+  std::vector<DimConstraint> constraints;
 };
 
 /// Payload bytes of a result for the cache's byte budget.
@@ -133,6 +139,37 @@ class SkylineEngine {
   /// ownership). Returns false if absent.
   bool EvictDataset(const std::string& name);
 
+  // ---- Incremental mutation ------------------------------------------
+  //
+  // Point-level updates without a re-register: each mutated row is
+  // routed to its shard and only that shard's skyline, SoA mirror, and
+  // sketch are repaired (query/delta.h); the M(S) merge makes shard-
+  // local repair sufficient for the global answer. Row ids are compact
+  // indices: InsertPoints appends (existing ids stable, new rows get ids
+  // old_count..old_count+k-1); DeletePoints compacts (a surviving id
+  // shifts down by the number of deleted ids below it) — after any
+  // mutation the registered state is row-identical to a fresh
+  // registration of the surviving rows. Each mutation bumps a per-
+  // dataset minor version and *selectively* invalidates cache entries:
+  // results/views/selectivities whose constraint box excludes every
+  // mutated row (and, for shard-cut views, whose shard was untouched)
+  // survive — deletes remap their ids in place — while everything else
+  // is erased. Mutations serialize with each other; queries never block.
+
+  /// Append every row of `rows` (dims must match). Returns the new minor
+  /// version. Throws std::runtime_error on unknown name or dims
+  /// mismatch.
+  uint64_t InsertPoints(const std::string& name, const Dataset& rows);
+
+  /// Delete the rows with the given current ids (duplicates tolerated).
+  /// Returns the new minor version. Throws std::runtime_error on unknown
+  /// name or an out-of-range id.
+  uint64_t DeletePoints(const std::string& name, std::span<const PointId> ids);
+
+  /// Minor version of a registered dataset (0 = never mutated; also 0 if
+  /// absent). Bumped by every InsertPoints / DeletePoints batch.
+  uint64_t MinorVersion(const std::string& name) const;
+
   /// Look up a registered dataset (nullptr if absent).
   std::shared_ptr<const Dataset> Find(const std::string& name) const;
 
@@ -170,37 +207,75 @@ class SkylineEngine {
     return view_cache_.counters();
   }
 
+  /// A cached constraint-selectivity estimate plus the constraint box it
+  /// was estimated for (the mutation path's invalidation key).
+  struct SelectivityEntry {
+    double value = 1.0;
+    std::vector<DimConstraint> constraints;
+  };
+  LruCache<SelectivityEntry>::Counters selectivity_cache_counters() const {
+    return selectivity_cache_.counters();
+  }
+
  private:
   struct Registered {
+    /// Whole-dataset rows at current ids. For sharded datasets a
+    /// mutation clears this (the truth lives in the shards); Find()
+    /// lazily reconcatenates and re-caches it. Never null when
+    /// `shards` is null.
     std::shared_ptr<const Dataset> data;
     std::shared_ptr<const ShardMap> shards;  // nullptr when unsharded
     std::shared_ptr<const StatsSketch> sketch;  // whole-dataset sketch
     uint64_t version = 0;
+    uint64_t minor = 0;  ///< bumped per mutation batch
+    int dims = 0;        ///< stable across mutations
+    size_t count = 0;    ///< current row count
   };
 
-  /// Cache inserts gated on `version` still being the registered
-  /// generation of `name`, checked under the registry lock so the insert
-  /// cannot interleave with a re-registration's purge: a replacement
-  /// blocks on the registry lock until the Put finishes, and its
-  /// ErasePrefix then removes the entry — a computation that outlived its
-  /// generation can never leave entries squatting under purged keys.
+  /// Cache inserts gated on (`version`, `minor`) still being the
+  /// registered generation of `name`, checked under the registry lock so
+  /// the insert cannot interleave with a re-registration's purge or a
+  /// mutation's selective fixup: a replacement/mutation blocks on the
+  /// registry lock until the Put finishes, and its ErasePrefix/EditPrefix
+  /// then sees the entry — a computation that outlived its generation
+  /// can never leave stale entries squatting under live keys.
   void PutResultIfCurrent(const std::string& name, uint64_t version,
-                          const std::string& key,
+                          uint64_t minor, const std::string& key,
                           std::shared_ptr<const QueryResult> value);
   void PutViewIfCurrent(const std::string& name, uint64_t version,
-                        const std::string& key,
+                        uint64_t minor, const std::string& key,
                         std::shared_ptr<const QueryView> value);
+  void PutSelectivityIfCurrent(const std::string& name, uint64_t version,
+                               uint64_t minor, const std::string& key,
+                               std::shared_ptr<const SelectivityEntry> value);
+
+  /// Selective cache fixup after a mutation, called with `registry_mu_`
+  /// held exclusively (lock order registry -> cache is the process-wide
+  /// rule). `mut_lo`/`mut_hi` bound every mutated row; `touched_shards`
+  /// flags repaired shards (empty when unsharded); `id_shift` is the
+  /// delete compaction map (empty for pure inserts).
+  void FixupCachesLocked(const std::string& prefix,
+                         const std::vector<Value>& mut_lo,
+                         const std::vector<Value>& mut_hi,
+                         const std::vector<uint8_t>& touched_shards,
+                         const std::vector<uint32_t>& id_shift);
 
   const Config config_;
   mutable std::shared_mutex registry_mu_;
   std::map<std::string, Registered> registry_;  // guarded by registry_mu_
   uint64_t next_version_ = 1;                   // guarded by registry_mu_
+  /// Serializes InsertPoints / DeletePoints batches with each other (the
+  /// registry lock is only held for snapshot and publish, so concurrent
+  /// mutations could otherwise interleave their repair work). Always
+  /// acquired before registry_mu_.
+  std::mutex mutation_mu_;
   LruCache<QueryResult> cache_;
   LruCache<QueryView> view_cache_;
   /// Constraint-selectivity estimates, keyed by (dataset @ version |
   /// constraint key) like the other caches so a re-registration's purge
-  /// invalidates them with the sketch they came from.
-  LruCache<double> selectivity_cache_;
+  /// invalidates them with the sketch they came from. Values carry their
+  /// constraint box so mutations can invalidate selectively.
+  LruCache<SelectivityEntry> selectivity_cache_;
 };
 
 }  // namespace sky

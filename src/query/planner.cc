@@ -32,6 +32,13 @@ bool BoxIntersectsConstraints(const std::vector<Value>& lo,
 }
 
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon) {
+  // Mutation staleness: shard boxes stay exact across InsertPoints /
+  // DeletePoints (inserts grow them exactly, deletes recompute them
+  // during compaction), so box pruning never drops a shard that holds a
+  // matching row. Shard sketches, by contrast, drift between periodic
+  // rebuilds — selection below tolerates that because
+  // EstimateConstraintSelectivity damps toward 1 by the sketch's
+  // StaleFraction (over-budgeting instead of under-planning).
   ExecutionPlan plan;
   for (size_t s = 0; s < map.shard_count(); ++s) {
     const Shard& shard = map.shard(s);

@@ -128,6 +128,41 @@ class LruCache {
     return erased;
   }
 
+  /// Selective invalidation: visit every entry whose key starts with
+  /// `prefix` and let `fn(key, value)` decide its fate — return the
+  /// value unchanged to keep it, nullptr to erase it, or a different
+  /// shared_ptr to replace it in place (bytes re-priced, LRU position
+  /// kept). O(entries); the mutation path uses this to keep provably
+  /// unaffected results alive across a minor-version bump instead of
+  /// purging the whole generation. Returns the number erased.
+  template <typename Fn>
+  size_t EditPrefix(const std::string& prefix, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (it->key.compare(0, prefix.size(), prefix) != 0) {
+        ++it;
+        continue;
+      }
+      std::shared_ptr<const V> next = fn(it->key, it->value);
+      if (next == nullptr) {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
+        it = order_.erase(it);
+        ++erased;
+        continue;
+      }
+      if (next.get() != it->value.get()) {
+        bytes_ -= it->bytes;
+        it->bytes = size_fn_ != nullptr ? size_fn_(*next) : 0;
+        bytes_ += it->bytes;
+        it->value = std::move(next);
+      }
+      ++it;
+    }
+    return erased;
+  }
+
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;

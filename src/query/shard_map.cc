@@ -2,8 +2,10 @@
 #include "query/shard_map.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -80,18 +82,18 @@ ShardMap ShardMap::Build(const Dataset& data, size_t shards,
 
   const int dims = data.dims();
   const size_t row_bytes = sizeof(Value) * static_cast<size_t>(data.stride());
-  map.shards_.resize(k);
+  map.shards_.reserve(k);
   for (size_t s = 0; s < k; ++s) {
-    Shard& shard = map.shards_[s];
+    Shard shard;
     shard.row_ids = std::move(members[s]);
-    shard.data = Dataset(dims, shard.row_ids.size());
+    auto rows = std::make_shared<Dataset>(dims, shard.row_ids.size());
     shard.box_lo.assign(static_cast<size_t>(dims),
                         std::numeric_limits<Value>::infinity());
     shard.box_hi.assign(static_cast<size_t>(dims),
                         -std::numeric_limits<Value>::infinity());
     for (size_t w = 0; w < shard.row_ids.size(); ++w) {
       const Value* src = data.Row(shard.row_ids[w]);
-      std::memcpy(shard.data.MutableRow(w), src, row_bytes);
+      std::memcpy(rows->MutableRow(w), src, row_bytes);
       for (int j = 0; j < dims; ++j) {
         // NaN fails both comparisons and stays out of the box.
         if (src[j] < shard.box_lo[static_cast<size_t>(j)]) {
@@ -104,9 +106,60 @@ ShardMap ShardMap::Build(const Dataset& data, size_t shards,
     }
     // Sketch each shard while its rows are hot: O(sample), so building
     // K shards stays linear in n overall.
-    shard.sketch = ComputeSketch(shard.data, seed + s);
+    shard.sketch = ComputeSketch(*rows, seed + s);
+    shard.data = std::move(rows);
+    map.shards_.push_back(std::make_shared<const Shard>(std::move(shard)));
   }
   return map;
+}
+
+void ShardMap::ReplaceShard(size_t i, std::shared_ptr<const Shard> shard) {
+  SKY_CHECK(i < shards_.size() && shard != nullptr &&
+            shard->data != nullptr);
+  shards_[i] = std::move(shard);
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->row_ids.size();
+  total_count_ = total;
+}
+
+size_t ShardMap::RouteInsert(const Value* row) const {
+  SKY_CHECK(!shards_.empty());
+  const auto least_loaded = [&](size_t a, size_t b) {
+    return shards_[b]->row_ids.size() < shards_[a]->row_ids.size() ? b : a;
+  };
+  if (policy_ == ShardPolicy::kRoundRobin) {
+    size_t best = 0;
+    for (size_t s = 1; s < shards_.size(); ++s) best = least_loaded(best, s);
+    return best;
+  }
+  // Median-pivot: minimize range-normalized box expansion so shard boxes
+  // stay tight and constraint pruning keeps firing after mutations.
+  size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    double score = 0.0;
+    for (int j = 0; j < dims_; ++j) {
+      const Value v = row[j];
+      const Value lo = shard.box_lo[static_cast<size_t>(j)];
+      const Value hi = shard.box_hi[static_cast<size_t>(j)];
+      // NaN coordinates and empty (all-NaN) boxes expand nothing.
+      if (std::isnan(v) || lo > hi) continue;
+      const double denom = hi > lo ? static_cast<double>(hi) - lo : 1.0;
+      if (v < lo) {
+        score += (static_cast<double>(lo) - v) / denom;
+      } else if (v > hi) {
+        score += (static_cast<double>(v) - hi) / denom;
+      }
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = s;
+    } else if (score == best_score) {
+      best = least_loaded(best, s);
+    }
+  }
+  return best;
 }
 
 }  // namespace sky

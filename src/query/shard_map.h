@@ -10,6 +10,7 @@
 #define SKY_QUERY_SHARD_MAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,17 +38,30 @@ ShardPolicy ParseShardPolicy(const std::string& name);
 /// satisfy a closed-interval constraint, so pruning on the NaN-free box
 /// stays exact.
 struct Shard {
-  Dataset data;
+  /// Shared so a copy-on-write ShardMap clone can alias the untouched
+  /// shards' row storage instead of deep-copying it; never null once
+  /// built.
+  std::shared_ptr<const Dataset> data;
   std::vector<PointId> row_ids;  ///< shard row -> original dataset row
   std::vector<Value> box_lo;     ///< per-dim minimum (+inf if all-NaN)
   std::vector<Value> box_hi;     ///< per-dim maximum (-inf if all-NaN)
   /// Registration-time statistics of this shard's rows — the planner's
-  /// per-shard cost-model input (query/cost_model.h).
+  /// per-shard cost-model input (query/cost_model.h). Incrementally
+  /// updated (with staleness tracking) under mutation.
   StatsSketch sketch;
+  /// Maintained shard-local skyline: ascending shard row indices of this
+  /// shard's skyline, or nullptr when never computed. Built lazily by the
+  /// first mutation (delta repair needs it) and consumed by the executor
+  /// as a precomputed candidate set for identity band-1 queries.
+  std::shared_ptr<const std::vector<PointId>> skyline;
+
+  const Dataset& rows() const { return *data; }
 };
 
-/// Immutable shard decomposition of one dataset. Built once per
-/// registration; safe to share across concurrent queries.
+/// Immutable shard decomposition of one dataset, with shards held by
+/// shared_ptr so mutation produces a cheap copy-on-write clone: the new
+/// map shares every untouched shard's storage and swaps in freshly built
+/// replacements for the touched ones.
 class ShardMap {
  public:
   /// Split `data` into min(shards, max(count, 1)) shards under `policy`.
@@ -57,14 +71,27 @@ class ShardMap {
                         ShardPolicy policy, uint64_t seed = 42);
 
   size_t shard_count() const { return shards_.size(); }
-  const Shard& shard(size_t i) const { return shards_[i]; }
+  const Shard& shard(size_t i) const { return *shards_[i]; }
+  std::shared_ptr<const Shard> shard_ptr(size_t i) const {
+    return shards_[i];
+  }
+  /// Swap shard i for a repaired replacement and refresh total_count()
+  /// from the new shard sizes (copy-on-write publish step).
+  void ReplaceShard(size_t i, std::shared_ptr<const Shard> shard);
+  /// Pick the shard a new row should join: round-robin routes to the
+  /// least-loaded shard; median-pivot routes to the shard whose bounding
+  /// box needs the least (range-normalized) expansion to admit the row,
+  /// ties broken least-loaded then lowest index. Deterministic; the
+  /// assignment need not match what a fresh Build would produce — M(S)
+  /// makes query results invariant to the shard decomposition.
+  size_t RouteInsert(const Value* row) const;
   ShardPolicy policy() const { return policy_; }
   int dims() const { return dims_; }
   /// Sum of shard row counts (== the source dataset's count).
   size_t total_count() const { return total_count_; }
 
  private:
-  std::vector<Shard> shards_;
+  std::vector<std::shared_ptr<const Shard>> shards_;
   ShardPolicy policy_ = ShardPolicy::kRoundRobin;
   int dims_ = 0;
   size_t total_count_ = 0;

@@ -28,6 +28,13 @@ struct QueryView {
   std::vector<int> kept_dims;
   /// Wall time spent building the view.
   double materialize_seconds = 0.0;
+  /// Invalidation metadata, filled by the engine when it caches a view:
+  /// the constraint box the view was filtered by (empty = unconstrained)
+  /// and the shard the view was cut from (-1 = whole dataset). A
+  /// mutation keeps a cached view alive iff no mutated row could have
+  /// entered or left it — see SkylineEngine::InsertPoints/DeletePoints.
+  std::vector<DimConstraint> constraints;
+  int source_shard = -1;
 };
 
 /// Build the view of `data` under `spec`. `spec` must already be in

@@ -4,8 +4,13 @@
 // while another thread registers/evicts datasets. Every returned result
 // is checked against the sequentially precomputed answer. Run under TSan
 // by the scheduled CI job.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "data/generator.h"
@@ -198,6 +203,140 @@ TEST(QueryEngineStressTest, ConcurrentAutoSelectionSurvivesSketchChurn) {
   churn.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(unresolved.load(), 0);
+}
+
+TEST(QueryEngineStressTest, ConcurrentMutationsDuringQueries) {
+  // Readers hammer a sharded, auto-selected engine while one writer
+  // applies a deterministic insert/delete script. Linearizability check:
+  // every served result must be exact for SOME minor version that
+  // existed — each reader answer has to match one of the precomputed
+  // per-version oracles, never a torn mix of two versions.
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 8;
+  config.shards = 4;
+  config.shard_policy = ShardPolicy::kMedianPivot;
+  config.auto_algorithm = true;
+  SkylineEngine engine(config);
+  const Dataset base =
+      GenerateSynthetic(Distribution::kAnticorrelated, 600, 3, 51);
+  engine.RegisterDataset("ds", base.Clone());
+
+  // Model of the row state (compact-index semantics) used to precompute
+  // the mutation payloads and each version's expected answers.
+  std::vector<std::vector<Value>> model;
+  for (size_t i = 0; i < base.count(); ++i) {
+    model.emplace_back(base.Row(i), base.Row(i) + 3);
+  }
+  const auto build_model = [&] {
+    std::vector<float> flat;
+    for (const auto& row : model) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return Dataset::FromRowMajor(3, flat);
+  };
+
+  QuerySpec banded;
+  banded.band_k = 2;
+  const std::vector<QuerySpec> specs{QuerySpec{}, banded};
+
+  constexpr int kSteps = 10;
+  std::vector<Dataset> insert_batches;
+  std::vector<std::vector<PointId>> delete_batches;
+  // expected[s][v]: sorted (id, count) pairs of spec s at version v.
+  std::vector<std::vector<std::vector<std::pair<PointId, uint32_t>>>>
+      expected(specs.size());
+  const auto snapshot_expected = [&] {
+    const Dataset now = build_model();
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const QueryResult r = RunQuery(now, specs[s]);
+      std::vector<std::pair<PointId, uint32_t>> entries;
+      for (size_t i = 0; i < r.ids.size(); ++i) {
+        entries.emplace_back(r.ids[i], r.dominator_counts[i]);
+      }
+      std::sort(entries.begin(), entries.end());
+      expected[s].push_back(std::move(entries));
+    }
+  };
+  snapshot_expected();  // version 0
+  std::mt19937 rng(4242);
+  for (int step = 0; step < kSteps; ++step) {
+    if (step % 2 == 0) {
+      Dataset batch = GenerateSynthetic(Distribution::kAnticorrelated, 40, 3,
+                                        1000 + static_cast<uint64_t>(step));
+      for (size_t i = 0; i < batch.count(); ++i) {
+        model.emplace_back(batch.Row(i), batch.Row(i) + 3);
+      }
+      insert_batches.push_back(std::move(batch));
+    } else {
+      std::vector<PointId> drop;
+      for (int k = 0; k < 60; ++k) {
+        drop.push_back(static_cast<PointId>(rng() % model.size()));
+      }
+      std::sort(drop.begin(), drop.end());
+      drop.erase(std::unique(drop.begin(), drop.end()), drop.end());
+      for (auto it = drop.rbegin(); it != drop.rend(); ++it) {
+        model.erase(model.begin() + *it);
+      }
+      delete_batches.push_back(std::move(drop));
+    }
+    snapshot_expected();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    size_t ins = 0, del = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      if (step % 2 == 0) {
+        engine.InsertPoints("ds", insert_batches[ins++]);
+      } else {
+        engine.DeletePoints("ds", delete_batches[del++]);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  pool.RunOnAll([&](int worker) {
+    Options opts;
+    opts.threads = 1;
+    std::mt19937 pick(static_cast<uint32_t>(worker) * 31 + 7);
+    int round = 0;
+    do {
+      // Zipfian-ish spec choice: the plain skyline dominates traffic.
+      const size_t s = (pick() % 10 < 8) ? 0 : 1;
+      const QueryResult r = engine.Execute("ds", specs[s], opts);
+      std::vector<std::pair<PointId, uint32_t>> got;
+      for (size_t i = 0; i < r.ids.size(); ++i) {
+        got.emplace_back(r.ids[i], r.dominator_counts[i]);
+      }
+      std::sort(got.begin(), got.end());
+      bool matched = false;
+      for (const auto& version : expected[s]) {
+        if (got == version) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) torn.fetch_add(1, std::memory_order_relaxed);
+      ++round;
+    } while (!stop.load(std::memory_order_acquire) || round < 20);
+  });
+  writer.join();
+  EXPECT_EQ(torn.load(), 0);
+  // Settled state: the final version must now be served exactly.
+  const QueryResult final_r = engine.Execute("ds", specs[0]);
+  std::vector<std::pair<PointId, uint32_t>> final_got;
+  for (size_t i = 0; i < final_r.ids.size(); ++i) {
+    final_got.emplace_back(final_r.ids[i], final_r.dominator_counts[i]);
+  }
+  std::sort(final_got.begin(), final_got.end());
+  EXPECT_EQ(final_got, expected[0].back());
+  ASSERT_NE(engine.Find("ds"), nullptr);
+  EXPECT_EQ(engine.Find("ds")->count(), model.size());
+  EXPECT_EQ(engine.MinorVersion("ds"), static_cast<uint64_t>(kSteps));
 }
 
 TEST(QueryEngineStressTest, QueriesRaceRegistrationAndEviction) {

@@ -142,9 +142,9 @@ TEST(QueryShardPropertyTest, ShardMapPartitionsRowsWithTightBoxes) {
       std::vector<bool> seen(data.count(), false);
       for (size_t s = 0; s < map.shard_count(); ++s) {
         const Shard& shard = map.shard(s);
-        ASSERT_EQ(shard.data.count(), shard.row_ids.size());
+        ASSERT_EQ(shard.rows().count(), shard.row_ids.size());
         // Shard sizes differ by at most one.
-        EXPECT_LE(shard.data.count(), data.count() / k + 1);
+        EXPECT_LE(shard.rows().count(), data.count() / k + 1);
         for (size_t w = 0; w < shard.row_ids.size(); ++w) {
           const PointId orig = shard.row_ids[w];
           ASSERT_LT(orig, data.count());
@@ -152,10 +152,10 @@ TEST(QueryShardPropertyTest, ShardMapPartitionsRowsWithTightBoxes) {
           seen[orig] = true;
           // Shard rows are bit-exact copies inside the shard box.
           for (int j = 0; j < data.dims(); ++j) {
-            EXPECT_EQ(shard.data.Row(w)[j], data.Row(orig)[j]);
-            EXPECT_GE(shard.data.Row(w)[j],
+            EXPECT_EQ(shard.rows().Row(w)[j], data.Row(orig)[j]);
+            EXPECT_GE(shard.rows().Row(w)[j],
                       shard.box_lo[static_cast<size_t>(j)]);
-            EXPECT_LE(shard.data.Row(w)[j],
+            EXPECT_LE(shard.rows().Row(w)[j],
                       shard.box_hi[static_cast<size_t>(j)]);
           }
         }

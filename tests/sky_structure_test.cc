@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "data/generator.h"
 #include "data/partition.h"
 #include "data/prefilter.h"
@@ -117,6 +119,72 @@ TEST(SkyStructure, MaskFiltersActuallySkipWork) {
   EXPECT_GT(skips, 0u);
   // Without filters the scan would be ~ (count/3) * count tests.
   EXPECT_LT(dts, (f.ws.count / 3) * f.ws.count);
+}
+
+TEST(SkyStructure, RemoveSweepKeepsDominanceExactAndMirrorBitIdentical) {
+  // Randomized removal property test: repeatedly drop a random ~quarter
+  // of the stored points (pivots included, so partition promotion and
+  // mask recomputation both fire) until the structure is empty. After
+  // every sweep the partition map must validate, the SoA tile mirror
+  // must be bit-identical to the packed rows (CheckInvariants verifies
+  // both), LastAppended must be empty, and Dominated must agree with an
+  // independent brute-force scan of the surviving rows.
+  Fixture f(Distribution::kAnticorrelated, 1200, 5, 41);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  s.Append(f.ws, 0, f.ws.count, dom);
+  const auto pivot = SelectPivot(f.ws, PivotPolicy::kMedian, f.pool, 1);
+  const Dataset probes =
+      GenerateSynthetic(Distribution::kAnticorrelated, 200, 5, 99);
+
+  // Independent row lookup: original id -> working-set row pointer.
+  std::vector<const Value*> row_of(f.ws.count, nullptr);
+  for (size_t i = 0; i < f.ws.count; ++i) row_of[f.ws.ids[i]] = f.ws.Row(i);
+
+  std::mt19937 rng(7);
+  while (s.size() > 0) {
+    const std::vector<PointId> current = s.ids();
+    std::vector<PointId> drop;
+    for (const PointId id : current) {
+      if (rng() % 4 == 0) drop.push_back(id);
+    }
+    if (drop.empty()) drop.push_back(current[rng() % current.size()]);
+    std::vector<PointId> survivors;
+    for (const PointId id : current) {
+      if (std::find(drop.begin(), drop.end(), id) == drop.end()) {
+        survivors.push_back(id);
+      }
+    }
+
+    EXPECT_EQ(s.Remove(drop, dom), drop.size());
+    s.CheckInvariants();
+    EXPECT_TRUE(s.LastAppended().empty());
+    EXPECT_EQ(test::Sorted(s.ids()), test::Sorted(survivors));
+
+    for (size_t i = 0; i < probes.count(); ++i) {
+      const Value* q = probes.Row(i);
+      const Mask qmask = dom.PartitionMask(q, pivot.data());
+      bool expect = false;
+      for (size_t k = 0; k < survivors.size() && !expect; ++k) {
+        expect = dom.Dominates(row_of[survivors[k]], q);
+      }
+      ASSERT_EQ(s.Dominated(q, qmask, dom, nullptr, nullptr), expect)
+          << "probe " << i << " at size " << s.size();
+    }
+  }
+  EXPECT_EQ(s.PartitionCount(), 0u);
+}
+
+TEST(SkyStructure, RemoveAbsentIdsIsANoOp) {
+  Fixture f(Distribution::kIndependent, 300, 4, 17);
+  DomCtx dom(f.ws.dims, f.ws.stride, true);
+  SkyStructure s(f.ws.dims, f.ws.stride, f.ws.count);
+  s.Append(f.ws, 0, f.ws.count, dom);
+  const size_t before = s.size();
+  const std::vector<PointId> ghost{1000000, 1000001};
+  EXPECT_EQ(s.Remove(ghost, dom), 0u);
+  EXPECT_EQ(s.size(), before);
+  s.CheckInvariants();
 }
 
 TEST(SkyStructure, LastAppendedExposesProgressiveSpan) {

@@ -96,6 +96,125 @@ TEST(Streaming, CompactionUnderChurn) {
   EXPECT_GT(s.dominance_tests(), 0u);
 }
 
+TEST(Streaming, SeedBulkLoadsAnAntichainWithNoDominanceWork) {
+  const Dataset data =
+      GenerateSynthetic(Distribution::kAnticorrelated, 500, 4, 9);
+  const std::vector<PointId> sky = test::ReferenceSkyline(data);
+  StreamingSkyline s(4);
+  s.Seed(data, sky);
+  EXPECT_EQ(s.size(), sky.size());
+  EXPECT_EQ(test::Sorted(s.Ids()), test::Sorted(sky));
+  EXPECT_EQ(s.dominance_tests(), 0u);
+}
+
+TEST(Streaming, SeedThenStreamEqualsFromScratchSkyline) {
+  // The shard-insert repair in one test: seed with A's skyline, stream
+  // B's rows — the window must land on SKY(A ++ B) exactly (non-skyline
+  // rows of A can never re-enter; seeded members can still be evicted).
+  const Dataset a =
+      GenerateSynthetic(Distribution::kAnticorrelated, 400, 3, 21);
+  const Dataset b = GenerateSynthetic(Distribution::kIndependent, 300, 3, 22);
+  std::vector<float> flat;
+  for (size_t i = 0; i < a.count(); ++i) {
+    flat.insert(flat.end(), a.Row(i), a.Row(i) + 3);
+  }
+  for (size_t i = 0; i < b.count(); ++i) {
+    flat.insert(flat.end(), b.Row(i), b.Row(i) + 3);
+  }
+  const Dataset concat = Dataset::FromRowMajor(3, flat);
+
+  StreamingSkyline s(3);
+  s.Seed(a, test::ReferenceSkyline(a));
+  for (size_t i = 0; i < b.count(); ++i) {
+    s.Insert(std::span<const Value>(b.Row(i), 3),
+             static_cast<PointId>(a.count() + i));
+  }
+  EXPECT_EQ(test::Sorted(s.Ids()),
+            test::Sorted(test::ReferenceSkyline(concat)));
+}
+
+TEST(Streaming, RemoveTombstonesTheCarrierOnly) {
+  StreamingSkyline s(2);
+  EXPECT_TRUE(s.Insert(std::vector<Value>{1, 5}, 0));
+  EXPECT_TRUE(s.Insert(std::vector<Value>{5, 1}, 1));
+  EXPECT_TRUE(s.Insert(std::vector<Value>{3, 3}, 2));
+  EXPECT_TRUE(s.Remove(1));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(test::Sorted(s.Ids()), (std::vector<PointId>{0, 2}));
+  EXPECT_FALSE(s.Remove(1));   // already tombstoned
+  EXPECT_FALSE(s.Remove(42));  // never present
+  // A point only the removed member had dominated is insertable again —
+  // Remove carries no dominance semantics, the caller re-promotes.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{6, 2}, 3));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Streaming, RemoveUnderBatchedWindowLeavesNoGhostLanes) {
+  // More than 64 live members forces inserts through the SoA tile path;
+  // a removal must pad its lane inert or later batched scans would test
+  // against a ghost. Members: id i -> (i+1, 100-i), pairwise
+  // incomparable.
+  StreamingSkyline s(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Insert(std::vector<Value>{static_cast<float>(i + 1),
+                                            static_cast<float>(100 - i)},
+                         static_cast<PointId>(i)));
+  }
+  // Remove less than half so tombstones stay resident (no compaction).
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(s.Remove(static_cast<PointId>(i)));
+  }
+  EXPECT_EQ(s.size(), 70u);
+  // (11.5, 90.5) is dominated by removed member 10 — (11, 90) — and by
+  // nothing live, so it must be accepted.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{11.5f, 90.5f}, 1000));
+  // (51.5, 50.5) is dominated by live member 50 — (51, 50): rejected.
+  EXPECT_FALSE(s.Insert(std::vector<Value>{51.5f, 50.5f}, 1001));
+  // Batched eviction sweep across a window holding tombstones: the
+  // origin evicts every live member.
+  EXPECT_TRUE(s.Insert(std::vector<Value>{0, 0}, 1002));
+  EXPECT_EQ(s.Ids(), (std::vector<PointId>{1002}));
+}
+
+TEST(Streaming, CoincidentDuplicatesInTheBatchedWindow) {
+  // Ties through the tile path: a coincident duplicate of a member is
+  // neither dominated nor dominating, so it joins and evicts nothing.
+  StreamingSkyline s(2);
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(s.Insert(std::vector<Value>{static_cast<float>(i + 1),
+                                            static_cast<float>(80 - i)},
+                         static_cast<PointId>(i)));
+  }
+  EXPECT_TRUE(s.Insert(std::vector<Value>{40.0f, 41.0f}, 500));  // == id 39
+  EXPECT_EQ(s.size(), 81u);
+  const std::vector<PointId> ids = test::Sorted(s.Ids());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), 39u) != ids.end());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), 500u) != ids.end());
+}
+
+TEST(Streaming, CompactionAfterHeavyRemoval) {
+  // Tombstoning more than half of a large window triggers compaction,
+  // which renumbers slots and rebuilds the tile mirror; the survivors
+  // and later inserts must be unaffected.
+  StreamingSkyline s(2);
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(s.Insert(std::vector<Value>{static_cast<float>(i + 1),
+                                            static_cast<float>(128 - i)},
+                         static_cast<PointId>(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Remove(static_cast<PointId>(i)));
+  }
+  EXPECT_EQ(s.size(), 28u);
+  std::vector<PointId> want;
+  for (int i = 100; i < 128; ++i) want.push_back(static_cast<PointId>(i));
+  EXPECT_EQ(test::Sorted(s.Ids()), want);
+  // The compacted window still rejects and accepts correctly.
+  EXPECT_FALSE(s.Insert(std::vector<Value>{111.5f, 18.5f}, 900));
+  EXPECT_TRUE(s.Insert(std::vector<Value>{0.5f, 200.0f}, 901));
+  EXPECT_EQ(s.size(), 29u);
+}
+
 TEST(Streaming, ScalarAndSimdAgree) {
   Dataset data = GenerateSynthetic(Distribution::kAnticorrelated, 1500, 7, 6);
   StreamingSkyline simd(7, true), scalar(7, false);

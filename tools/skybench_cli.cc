@@ -59,10 +59,13 @@ struct CliArgs {
   size_t topk = 0;        // ranked result cap (0 = all)
   size_t shards = 1;      // engine shard count (1 = unsharded)
   std::string shard_policy = "rr";  // rr|median
+  std::string insert_csv;  // rows to InsertPoints after registration
+  std::string delete_ids;  // ids to DeletePoints after registration
 
   bool UsesQueryEngine() const {
     return !minmax.empty() || !project.empty() || !constrain.empty() ||
-           kband != 1 || topk != 0 || shards > 1;
+           kband != 1 || topk != 0 || shards > 1 || !insert_csv.empty() ||
+           !delete_ids.empty();
   }
 };
 
@@ -105,6 +108,11 @@ struct CliArgs {
       "  --shards=K       split the dataset into K engine shards; queries\n"
       "                   plan, prune and merge per shard (default 1)\n"
       "  --shard-policy=P rr|median row-to-shard assignment (default rr)\n"
+      "  --insert-csv=P   after load, insert the rows of file P (CSV or\n"
+      "                   binary snapshot) via the incremental delta path;\n"
+      "                   new rows take ids N, N+1, ...\n"
+      "  --delete-ids=L   after load (and any insert), delete these row\n"
+      "                   ids, e.g. 3,17,42; surviving ids compact down\n"
       "  --version        print build identity and exit\n"
       "  --help           print this message and exit\n");
   std::exit(exit_code);
@@ -125,6 +133,22 @@ unsigned long long ParseCount(const char* text, const char* flag,
     std::exit(2);
   }
   return static_cast<unsigned long long>(v);
+}
+
+/// Comma-separated row ids for --delete-ids. ParseIndexList is the wrong
+/// tool here: it range-checks against the dimension count.
+std::vector<PointId> ParseIdList(const std::string& text) {
+  std::vector<PointId> ids;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    ids.push_back(static_cast<PointId>(
+        ParseCount(token.c_str(), "--delete-ids", UINT32_MAX)));
+    pos = comma + 1;
+  }
+  return ids;
 }
 
 bool Flag(const char* arg, const char* name, const char** value) {
@@ -169,6 +193,8 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--shards", &v) && v)
       a.shards = static_cast<size_t>(ParseCount(v, "--shards", 1'000'000));
     else if (Flag(argv[i], "--shard-policy", &v) && v) a.shard_policy = v;
+    else if (Flag(argv[i], "--insert-csv", &v) && v) a.insert_csv = v;
+    else if (Flag(argv[i], "--delete-ids", &v) && v) a.delete_ids = v;
     else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
     else if (Flag(argv[i], "--no-batch", &v)) a.no_batch = true;
     else if (Flag(argv[i], "--stats", &v)) a.stats = true;
@@ -346,6 +372,26 @@ int main(int argc, char** argv) try {
     cfg.shard_policy = shard_policy;
     sky::SkylineEngine engine(cfg);
     engine.RegisterDataset("cli", std::move(data));
+    if (!args.insert_csv.empty()) {
+      // Incremental delta path: only the touched shards repair their
+      // skylines; the registration is not rebuilt.
+      sky::Dataset extra = sky::Dataset::SniffBinary(args.insert_csv)
+                               ? sky::Dataset::LoadBinary(args.insert_csv)
+                               : sky::Dataset::LoadCsv(args.insert_csv);
+      const size_t added = extra.count();
+      engine.InsertPoints("cli", extra);
+      std::printf("inserted %zu rows from %s (minor v%llu)\n", added,
+                  args.insert_csv.c_str(),
+                  static_cast<unsigned long long>(engine.MinorVersion("cli")));
+    }
+    if (!args.delete_ids.empty()) {
+      const std::vector<sky::PointId> drop =
+          sky::ParseIdList(args.delete_ids);
+      engine.DeletePoints("cli", drop);
+      std::printf("deleted %zu rows (minor v%llu); surviving ids compacted\n",
+                  drop.size(),
+                  static_cast<unsigned long long>(engine.MinorVersion("cli")));
+    }
     const std::shared_ptr<const sky::Dataset> ds = engine.Find("cli");
     if (args.kband > 1 && algos.size() > 1) {
       // The skyband path ignores the algorithm selection: an --algo=all
