@@ -121,10 +121,10 @@ std::shared_ptr<const Shard> ShardWithInserts(
   // through a seeded window would pay a whole-window sweep per row. One
   // FilterTile pass rejects the new rows some maintained member
   // dominates (any old dominator implies a member dominator by
-  // transitivity), an O(add^2) pass resolves dominance among the
-  // accepted rows themselves, and one reverse pass tombstones the
-  // members an accepted row dominates. Coincident rows never dominate,
-  // so duplicates are retained throughout.
+  // transitivity), a second tiled pass resolves dominance among the new
+  // rows themselves, and one reverse pass tombstones the members an
+  // accepted row dominates. Coincident rows never dominate, so
+  // duplicates are retained throughout.
   const std::vector<PointId> base = BaseSkyline(shard);
   const DomCtx dom(dims, rows->stride(), /*use_simd=*/true);
   uint64_t dts = 0;
@@ -135,18 +135,18 @@ std::shared_ptr<const Shard> ShardWithInserts(
     dom.FilterTile(rows->Row(old_count), add, base_tiles, rejected.data(),
                    &dts);
   }
-  for (size_t k = 0; k < add; ++k) {
-    if (rejected[k]) continue;
-    for (size_t m = 0; m < add; ++m) {
-      // Skipping already-rejected rows is sound: a rejected dominator's
-      // own (unrejected) dominator also dominates row k transitively.
-      if (m == k || rejected[m]) continue;
-      if (dom.Dominates(rows->Row(old_count + m),
-                        rows->Row(old_count + k))) {
-        rejected[k] = 1;
-        break;
-      }
-    }
+  if (add > 1) {
+    // Intra-batch resolution through the same tile kernel, self-exclusion
+    // free: a row never dominates its own (coincident) tile lane, and
+    // tiling the base-rejected rows too changes nothing — any row such a
+    // reject dominates is already flagged (the reject's own base
+    // dominator dominates it transitively), and FilterTile skips flagged
+    // rows. "Dominated by some batch row" is order-independent, so one
+    // sweep matches the pairwise answer exactly.
+    TileBlock batch_tiles(dims, add);
+    batch_tiles.AppendRows(rows->Row(old_count), rows->stride(), add);
+    dom.FilterTile(rows->Row(old_count), add, batch_tiles, rejected.data(),
+                   &dts);
   }
   size_t accepted = 0;
   for (const uint8_t r : rejected) accepted += (r == 0);
@@ -185,6 +185,7 @@ std::shared_ptr<const Shard> ShardWithInserts(
   if (SketchNeedsRebuild(out->sketch)) {
     out->sketch = ComputeSketch(*rows, sketch_seed);
   }
+  out->epoch = NextShardEpoch();  // local row content changed
   out->data = std::move(rows);
   return out;
 }
@@ -266,12 +267,17 @@ std::shared_ptr<const Shard> ShardWithDeletes(
   if (SketchNeedsRebuild(out->sketch)) {
     out->sketch = ComputeSketch(*rows, sketch_seed);
   }
+  out->epoch = NextShardEpoch();  // local row content changed
   out->data = std::move(rows);
   return out;
 }
 
 std::shared_ptr<const Shard> ShardWithRemappedIds(
     const Shard& shard, const std::vector<uint32_t>& global_shift) {
+  // The copy keeps shard.epoch: only global ids move, and the executor
+  // composes those from its own snapshot's row_ids — a cached view (keyed
+  // to the epoch) stays valid because the shard-local numbering it
+  // indexes is unchanged.
   auto out = std::make_shared<Shard>(shard);  // shares data/skyline/sketch
   for (PointId& gid : out->row_ids) gid -= global_shift[gid];
   return out;

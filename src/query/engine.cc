@@ -500,10 +500,16 @@ SkylineEngine::SkylineEngine(Config config)
 
 namespace {
 
-/// Every cache key of (name, version) starts with this prefix; versions
-/// are globally unique so the prefix cannot collide across datasets.
-std::string CacheKeyPrefix(const std::string& name, uint64_t version) {
-  return name + "@" + std::to_string(version) + "|";
+/// Every cache key of one dataset generation starts with this prefix.
+/// Keyed by the numeric version alone: versions are globally unique and
+/// never reused, and a digit string followed by '|' can never be a
+/// proper prefix of another such prefix — so ErasePrefix / EditPrefix
+/// can never reach another generation's entries. The dataset name stays
+/// out of the key entirely; a name containing '@' or '|' could
+/// otherwise forge a prefix of another dataset's keys and let one
+/// dataset's mutation remap or erase the other's cached results.
+std::string CacheKeyPrefix(uint64_t version) {
+  return std::to_string(version) + "|";
 }
 
 }  // namespace
@@ -542,7 +548,7 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
   // The old generation can never be served again (versions are never
   // reused); free its results instead of letting them squat in the LRU.
   if (replaced_version != 0) {
-    const std::string prefix = CacheKeyPrefix(name, replaced_version);
+    const std::string prefix = CacheKeyPrefix(replaced_version);
     cache_.ErasePrefix(prefix);
     view_cache_.ErasePrefix(prefix);
     selectivity_cache_.ErasePrefix(prefix);
@@ -559,7 +565,7 @@ bool SkylineEngine::EvictDataset(const std::string& name) {
     version = it->second.version;
     registry_.erase(it);
   }
-  const std::string prefix = CacheKeyPrefix(name, version);
+  const std::string prefix = CacheKeyPrefix(version);
   cache_.ErasePrefix(prefix);
   view_cache_.ErasePrefix(prefix);
   selectivity_cache_.ErasePrefix(prefix);
@@ -730,7 +736,7 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   // invisible too — a mutation edits the entries under these keys in
   // place (remap or erase) rather than abandoning them.
   const QuerySpec canon = spec.Canonicalize(dims);
-  const std::string prefix = CacheKeyPrefix(name, version);
+  const std::string prefix = CacheKeyPrefix(version);
   const std::string key = prefix + canon.CanonicalKey();
   if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
     QueryResult out = *hit;
@@ -771,17 +777,26 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   if (shards != nullptr && shards->shard_count() > 1) {
     // Per-shard views are served from the view cache too, keyed by the
     // shard index on top of the ViewKey, so a band_k / top-k sweep pays
-    // each shard's materialization once.
+    // each shard's materialization once. Keys omit the minor version, so
+    // a cached view may come from a different generation of the shard
+    // than this query's snapshot (an in-flight reader races a mutation in
+    // either direction); the Shard::epoch check rejects such a view —
+    // composing its local row indices through the snapshot's row_ids
+    // would read out of bounds or return wrong global ids — and the
+    // reader rebuilds from its own snapshot instead (PutViewIfCurrent
+    // keeps a stale rebuild out of the cache).
     const ShardViewProvider provider = [&](uint32_t shard_index) {
       const std::string view_key = prefix + "v|s" +
                                    std::to_string(shard_index) + "|" +
                                    canon.ViewKey();
+      const uint64_t epoch = shards->shard(shard_index).epoch;
       std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
-      if (view == nullptr) {
+      if (view == nullptr || view->source_epoch != epoch) {
         QueryView built =
             MaterializeView(shards->shard(shard_index).rows(), canon);
         built.constraints = canon.constraints;
         built.source_shard = static_cast<int>(shard_index);
+        built.source_epoch = epoch;
         auto holder = std::make_shared<const QueryView>(std::move(built));
         PutViewIfCurrent(name, version, minor, view_key, holder);
         view = std::move(holder);
@@ -967,7 +982,7 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
     it->second.sketch = std::move(new_sketch);
     it->second.count = count + add;
     const uint64_t bumped = ++it->second.minor;
-    FixupCachesLocked(CacheKeyPrefix(name, version), mut_lo, mut_hi, touched,
+    FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
                       /*id_shift=*/{});
     return bumped;
   }
@@ -1097,7 +1112,7 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
     it->second.sketch = std::move(new_sketch);
     it->second.count = count - drop.size();
     const uint64_t bumped = ++it->second.minor;
-    FixupCachesLocked(CacheKeyPrefix(name, version), mut_lo, mut_hi, touched,
+    FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
                       shift);
     return bumped;
   }

@@ -271,7 +271,7 @@ class SkylineEngine {
   std::mutex mutation_mu_;
   LruCache<QueryResult> cache_;
   LruCache<QueryView> view_cache_;
-  /// Constraint-selectivity estimates, keyed by (dataset @ version |
+  /// Constraint-selectivity estimates, keyed by (dataset version |
   /// constraint key) like the other caches so a re-registration's purge
   /// invalidates them with the sketch they came from. Values carry their
   /// constraint box so mutations can invalidate selectively.

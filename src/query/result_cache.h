@@ -1,6 +1,6 @@
 // Copyright (c) SkyBench-NG contributors.
 // Thread-safe LRU cache of finished query results, keyed by the engine's
-// canonical (dataset @ version | spec) strings. Entries are shared_ptrs so
+// canonical (dataset version | spec) strings. Entries are shared_ptrs so
 // a hit never copies the (possibly large) id vectors under the lock and an
 // eviction never invalidates a result a reader still holds. Eviction is
 // entry-capped and, optionally, byte-capped: a SizeFn prices each value

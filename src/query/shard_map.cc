@@ -2,6 +2,7 @@
 #include "query/shard_map.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -15,6 +16,11 @@
 #include "parallel/thread_pool.h"
 
 namespace sky {
+
+uint64_t NextShardEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 const char* ShardPolicyName(ShardPolicy policy) {
   switch (policy) {
@@ -107,6 +113,7 @@ ShardMap ShardMap::Build(const Dataset& data, size_t shards,
     // Sketch each shard while its rows are hot: O(sample), so building
     // K shards stays linear in n overall.
     shard.sketch = ComputeSketch(*rows, seed + s);
+    shard.epoch = NextShardEpoch();
     shard.data = std::move(rows);
     map.shards_.push_back(std::make_shared<const Shard>(std::move(shard)));
   }

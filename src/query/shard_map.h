@@ -54,9 +54,21 @@ struct Shard {
   /// first mutation (delta repair needs it) and consumed by the executor
   /// as a precomputed candidate set for identity band-1 queries.
   std::shared_ptr<const std::vector<PointId>> skyline;
+  /// Identity of this shard's local row content/numbering, unique across
+  /// every shard the process ever builds. Delta repairs that change the
+  /// shard's rows (inserts, deletes) stamp a fresh epoch; a pure global-id
+  /// remap keeps it — shard-local indices are untouched. Cached per-shard
+  /// views record the epoch they were cut from, so a reader holding an
+  /// older (or newer) ShardMap snapshot can detect that a cached view's
+  /// local row numbering does not match its snapshot and rebuild instead
+  /// of composing ids across generations.
+  uint64_t epoch = 0;
 
   const Dataset& rows() const { return *data; }
 };
+
+/// Next value of the process-wide shard epoch counter (never 0).
+uint64_t NextShardEpoch();
 
 /// Immutable shard decomposition of one dataset, with shards held by
 /// shared_ptr so mutation produces a cheap copy-on-write clone: the new

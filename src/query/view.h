@@ -35,6 +35,11 @@ struct QueryView {
   /// entered or left it — see SkylineEngine::InsertPoints/DeletePoints.
   std::vector<DimConstraint> constraints;
   int source_shard = -1;
+  /// Shard::epoch of the shard this view was cut from (0 for whole-
+  /// dataset views). A reader only composes a cached shard view with its
+  /// own ShardMap snapshot when the epochs match — the view's local row
+  /// indices are meaningless against any other generation of the shard.
+  uint64_t source_epoch = 0;
 };
 
 /// Build the view of `data` under `spec`. `spec` must already be in

@@ -13,6 +13,7 @@
 
 #include "data/generator.h"
 #include "gtest/gtest.h"
+#include "query/delta.h"
 #include "query/engine.h"
 #include "query_test_util.h"
 #include "test_util.h"
@@ -346,6 +347,87 @@ TEST(IncrementalMutationTest, NonIntersectingConstrainedResultSurvives) {
   // An intersecting insert erases it.
   engine.InsertPoints("ds", MakeDataset({{0.3f, 0.05f}}));
   EXPECT_FALSE(engine.Execute("ds", low).cache_hit);
+}
+
+TEST(IncrementalMutationTest, BulkInsertRoutedToFewShardsStaysExact) {
+  // A single large batch concentrated on two shards drives the
+  // intra-batch resolution sweep through multi-tile sizes.
+  const Dataset base =
+      GenerateSynthetic(Distribution::kAnticorrelated, 100, 3, 91);
+  RowModel model = RowModel::Of(base);
+  SkylineEngine engine(ConfigFor(2, ShardPolicy::kMedianPivot));
+  engine.RegisterDataset("ds", base.Clone());
+  const Dataset batch =
+      GenerateSynthetic(Distribution::kAnticorrelated, 300, 3, 92);
+  model.Insert(batch);
+  engine.InsertPoints("ds", batch);
+  ExpectMatchesScratch(engine, model, 2, ShardPolicy::kMedianPivot,
+                       "bulk insert");
+}
+
+TEST(IncrementalMutationTest, DuplicateRowsInOneInsertBatchAllSurvive) {
+  // Intra-batch resolution must keep coincident rows: neither copy
+  // dominates the other, whichever sweep tests them.
+  SkylineEngine engine(ConfigFor(2, ShardPolicy::kRoundRobin));
+  engine.RegisterDataset("ds", MakeDataset({{0.5f, 0.5f}, {0.6f, 0.6f}}));
+  engine.InsertPoints("ds", MakeDataset({{0.1f, 0.1f}, {0.1f, 0.1f}}));
+  EXPECT_EQ(SortedEntries(engine.Execute("ds", QuerySpec{})),
+            (std::vector<OracleEntry>{{2, 0}, {3, 0}}));
+}
+
+TEST(IncrementalMutationTest, ShardEpochTracksLocalRowNumbering) {
+  // The epoch identifies a shard's local row content/numbering: fresh
+  // after any repair that changes the rows, preserved by a pure
+  // global-id remap — the property the engine's view-cache validation
+  // relies on to keep a cached view composable only with the exact
+  // shard generation it was cut from.
+  const Dataset data = MakeDataset(
+      {{0.1f, 0.9f}, {0.9f, 0.1f}, {0.5f, 0.5f}, {0.6f, 0.6f}});
+  const ShardMap map = ShardMap::Build(data, 2, ShardPolicy::kRoundRobin);
+  EXPECT_NE(map.shard(0).epoch, 0u);
+  EXPECT_NE(map.shard(1).epoch, 0u);
+  EXPECT_NE(map.shard(0).epoch, map.shard(1).epoch);
+
+  const Dataset batch = MakeDataset({{0.05f, 0.05f}});
+  const auto inserted =
+      ShardWithInserts(map.shard(0), batch, {0}, /*base_global_id=*/4,
+                       /*sketch_seed=*/1);
+  EXPECT_NE(inserted->epoch, map.shard(0).epoch);
+
+  std::vector<uint32_t> shift(4, 0);  // compaction map for deleting id 0
+  for (size_t i = 1; i < shift.size(); ++i) shift[i] = 1;
+  const auto deleted =
+      ShardWithDeletes(map.shard(0), {0}, shift, /*sketch_seed=*/1);
+  EXPECT_NE(deleted->epoch, map.shard(0).epoch);
+  EXPECT_NE(deleted->epoch, inserted->epoch);
+
+  const auto remapped = ShardWithRemappedIds(map.shard(1), shift);
+  EXPECT_EQ(remapped->epoch, map.shard(1).epoch);
+}
+
+TEST(IncrementalMutationTest, AdversarialDatasetNameCannotCorruptPeerCaches) {
+  // Cache prefixes are the numeric version alone, so a dataset whose
+  // *name* spells another dataset's prefix cannot have its entries
+  // remapped or erased by a mutation on that other dataset. Under a
+  // name-based "name@version|" prefix, mutating "a" (version 1) would
+  // also edit every entry of a dataset literally named "a@1|x".
+  SkylineEngine engine;
+  engine.RegisterDataset("a", MakeDataset({{0.9f, 0.9f}, {0.5f, 0.5f}}));
+  const std::string evil = "a@1|x";
+  engine.RegisterDataset(evil, MakeDataset({{0.9f, 0.9f},    // id 0: outside
+                                            {0.1f, 0.2f},    // id 1: inside
+                                            {0.2f, 0.1f}}));  // id 2: inside
+  QuerySpec low;
+  low.Constrain(0, 0.0f, 0.4f);
+  EXPECT_EQ(Sorted(engine.Execute(evil, low).ids),
+            (std::vector<PointId>{1, 2}));
+  // Deleting a's row 0 ({0.9, 0.9}) misses evil's constraint box; a
+  // shared prefix would remap (corrupt) evil's surviving entry through
+  // a's two-row compaction map. It must be served bit-identical instead.
+  engine.DeletePoints("a", std::vector<PointId>{0});
+  const QueryResult after = engine.Execute(evil, low);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_EQ(Sorted(after.ids), (std::vector<PointId>{1, 2}));
 }
 
 TEST(IncrementalMutationTest, SurvivingResultIdsAreRemappedAfterDelete) {

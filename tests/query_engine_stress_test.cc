@@ -235,9 +235,15 @@ TEST(QueryEngineStressTest, ConcurrentMutationsDuringQueries) {
     return Dataset::FromRowMajor(3, flat);
   };
 
+  // The spec mix must include a constrained spec: identity specs never
+  // materialize per-shard views, and the view cache under a racing
+  // mutation is exactly where a stale reader could compose a view built
+  // from a different shard generation (the Shard::epoch check guards it).
   QuerySpec banded;
   banded.band_k = 2;
-  const std::vector<QuerySpec> specs{QuerySpec{}, banded};
+  QuerySpec boxed;
+  boxed.Constrain(0, 0.1f, 0.8f);
+  const std::vector<QuerySpec> specs{QuerySpec{}, banded, boxed};
 
   constexpr int kSteps = 10;
   std::vector<Dataset> insert_batches;
@@ -305,8 +311,10 @@ TEST(QueryEngineStressTest, ConcurrentMutationsDuringQueries) {
     std::mt19937 pick(static_cast<uint32_t>(worker) * 31 + 7);
     int round = 0;
     do {
-      // Zipfian-ish spec choice: the plain skyline dominates traffic.
-      const size_t s = (pick() % 10 < 8) ? 0 : 1;
+      // Zipfian-ish spec choice: the plain skyline dominates traffic,
+      // the banded and boxed specs split the tail.
+      const uint32_t roll = pick() % 10;
+      const size_t s = roll < 6 ? 0 : (roll < 8 ? 1 : 2);
       const QueryResult r = engine.Execute("ds", specs[s], opts);
       std::vector<std::pair<PointId, uint32_t>> got;
       for (size_t i = 0; i < r.ids.size(); ++i) {
