@@ -181,6 +181,53 @@ std::pair<Entry, Entry> MutationPair(int repeats) {
   return {inc, reg};
 }
 
+/// Metrics overhead on the serving hot path: the same engine-served query
+/// with Config::metrics on vs off (the off engine skips every registry
+/// update). The result cache is disabled so each Execute actually plans
+/// and computes — a cache-hit-only loop would understate the per-query
+/// instrument cost relative to real work. Returns {metrics_on,
+/// metrics_off}; ns_per_op is one Execute call (median of repeats).
+std::pair<Entry, Entry> MetricsOverheadPair(int repeats) {
+  constexpr size_t kN = 20'000;
+  constexpr int kD = 8;
+  WorkloadSpec spec{Distribution::kAnticorrelated, kN, kD, 42};
+  const Dataset& data = WorkloadCache::Instance().Get(spec);
+
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  // Median of at least 5: the gate asserts a <= 3% delta, tighter than
+  // typical single-run CI noise at this problem size.
+  const int reps = std::max(repeats, 5);
+  const auto measure = [&](bool metrics) {
+    SkylineEngine::Config cfg;
+    cfg.result_cache_capacity = 0;  // every Execute computes
+    cfg.metrics = metrics;
+    SkylineEngine engine(cfg);
+    engine.RegisterDataset("smoke", data.Clone());
+    Options o;
+    o.algorithm = Algorithm::kHybrid;
+    o.threads = 1;
+    engine.Execute("smoke", QuerySpec{}, o);  // warm up
+    std::vector<double> secs;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t;
+      engine.Execute("smoke", QuerySpec{}, o);
+      secs.push_back(std::max(t.Seconds(), 1e-12));
+    }
+    return median(secs);
+  };
+  char name[128];
+  std::snprintf(name, sizeof(name), "engine/metrics_on/anti/n=%zu/d=%d", kN,
+                kD);
+  Entry on{name, measure(true) * 1e9, 0.0};
+  std::snprintf(name, sizeof(name), "engine/metrics_off/anti/n=%zu/d=%d", kN,
+                kD);
+  Entry off{name, measure(false) * 1e9, 0.0};
+  return {on, off};
+}
+
 void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -283,6 +330,24 @@ int Main(int argc, char** argv) {
                    "perf_smoke: GATE FAILED: incremental insert only "
                    "%.1fx faster than re-registration (need >= 50x)\n",
                    speedup);
+      gate_ok = false;
+    }
+  }
+
+  // ---- Observability overhead: metrics-on vs metrics-off serving.
+  {
+    const auto [on, off] = MetricsOverheadPair(repeats);
+    entries.push_back(on);
+    entries.push_back(off);
+    const double ratio = on.ns_per_op / off.ns_per_op;
+    std::printf("%-48s %12.0f ns/op\n", off.name.c_str(), off.ns_per_op);
+    std::printf("%-48s %12.0f ns/op  (%.3fx baseline)\n", on.name.c_str(),
+                on.ns_per_op, ratio);
+    if (check && ratio > 1.03) {
+      std::fprintf(stderr,
+                   "perf_smoke: GATE FAILED: metrics-on serving %.3fx "
+                   "metrics-off (need <= 1.03x)\n",
+                   ratio);
       gate_ok = false;
     }
   }

@@ -2,18 +2,22 @@
 // Query service: a long-lived SkylineEngine serving mixed preference /
 // projection / constraint / k-band queries over registered datasets from
 // many threads at once — the shape of a real skyline backend, as opposed
-// to the one-shot ComputeSkyline call of the quickstart.
+// to the one-shot ComputeSkyline call of the quickstart. Service health
+// is read from the engine's metrics registry (obs/metrics.h): per-round
+// snapshots report throughput, cache hit rates and latency quantiles,
+// and the final snapshot can be written out as JSON for scraping.
 //
-//   $ ./query_service [n_points] [n_threads] [rounds] [shards]
-#include <array>
+//   $ ./query_service [n_points] [n_threads] [rounds] [shards] [stats.json]
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/timer.h"
 #include "data/generator.h"
 #include "data/realistic.h"
+#include "obs/export.h"
 #include "parallel/thread_pool.h"
 #include "query/engine.h"
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   const int threads = argc > 2 ? std::atoi(argv[2]) : 8;
   const int rounds = argc > 3 ? std::atoi(argv[3]) : 4;
   const size_t shards = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 4;
+  const std::string stats_json = argc > 5 ? argv[5] : "";
 
   // Datasets are sharded at registration: constrained queries plan
   // against per-shard bounding boxes and skip shards outside the box,
@@ -94,53 +99,61 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   const auto workload = BuildWorkload();
-  std::atomic<size_t> served{0};
   std::atomic<size_t> returned_points{0};
   std::atomic<size_t> shards_pruned{0};
-  // Tally of the cost model's per-shard algorithm decisions, indexed by
-  // the Algorithm enum value.
-  std::array<std::atomic<size_t>, 16> decisions{};
 
   // Every pool worker is an independent "frontend thread" hammering the
   // shared engine with the mixed workload, offset so distinct queries are
-  // in flight at the same time.
+  // in flight at the same time. After each round the engine's metrics
+  // registry is snapshotted for a health line — exactly what a periodic
+  // scraper would read off a deployment.
   sky::WallTimer wall;
   sky::ThreadPool pool(threads);
-  pool.RunOnAll([&](int worker) {
-    sky::Options opts;
-    opts.threads = 1;  // per-query parallelism off: parallelism across queries
-    for (int round = 0; round < rounds; ++round) {
+  for (int round = 0; round < rounds; ++round) {
+    pool.RunOnAll([&](int worker) {
+      sky::Options opts;
+      opts.threads = 1;  // per-query parallelism off: parallel across queries
       for (size_t q = 0; q < workload.size(); ++q) {
         const auto& [name, spec] =
             workload[(q + static_cast<size_t>(worker)) % workload.size()];
         const sky::QueryResult r = engine.Execute(name, spec, opts);
-        served.fetch_add(1, std::memory_order_relaxed);
         returned_points.fetch_add(r.ids.size(), std::memory_order_relaxed);
         shards_pruned.fetch_add(r.shards_pruned, std::memory_order_relaxed);
-        for (const sky::Algorithm a : r.shard_algorithms) {
-          decisions[static_cast<size_t>(a)].fetch_add(
-              1, std::memory_order_relaxed);
-        }
       }
-    }
-  });
+    });
+    const sky::obs::MetricsSnapshot snap = engine.Metrics().Snapshot();
+    const sky::obs::MetricValue* latency =
+        snap.Find("sky_query_latency_seconds");
+    std::printf(
+        "round %d: served=%.0f hits=%.0f misses=%.0f p50=%.0fus p99=%.0fus\n",
+        round + 1, snap.Value("sky_engine_queries_total"),
+        snap.Value("sky_result_cache_hits_total"),
+        snap.Value("sky_result_cache_misses_total"),
+        latency != nullptr ? latency->histogram.Quantile(0.5) * 1e6 : 0.0,
+        latency != nullptr ? latency->histogram.Quantile(0.99) * 1e6 : 0.0);
+  }
   const double seconds = wall.Seconds();
 
-  const auto cache = engine.cache_counters();
-  std::printf("served %zu queries from %d threads in %.3f s (%.0f q/s)\n",
-              served.load(), threads, seconds, served.load() / seconds);
+  const sky::obs::MetricsSnapshot snap = engine.Metrics().Snapshot();
+  const double served = snap.Value("sky_engine_queries_total");
+  std::printf("served %.0f queries from %d threads in %.3f s (%.0f q/s)\n",
+              served, threads, seconds, served / seconds);
   std::printf("returned points : %zu\n", returned_points.load());
-  std::printf("result cache    : %llu hits / %llu misses (%zu entries)\n",
-              static_cast<unsigned long long>(cache.hits),
-              static_cast<unsigned long long>(cache.misses), cache.entries);
+  std::printf("result cache    : %.0f hits / %.0f misses (%.0f entries)\n",
+              snap.Value("sky_result_cache_hits_total"),
+              snap.Value("sky_result_cache_misses_total"),
+              snap.Value("sky_result_cache_entries"));
   std::printf("shards pruned   : %zu (constraint boxes missed the shard)\n",
               shards_pruned.load());
+  // The cost model's per-shard decisions, read from the registry's
+  // sky_engine_algorithm_total{algo=...} family instead of a hand-rolled
+  // tally: the engine counts one bump per executed shard.
   std::printf("auto decisions  :");
-  for (size_t a = 0; a < decisions.size(); ++a) {
-    if (decisions[a].load() == 0) continue;
-    std::printf(" %s=%zu",
-                sky::AlgorithmName(static_cast<sky::Algorithm>(a)),
-                decisions[a].load());
+  for (const sky::obs::MetricValue& m : snap.metrics) {
+    if (m.name != "sky_engine_algorithm_total" || m.value == 0.0) continue;
+    for (const auto& [key, label] : m.labels) {
+      if (key == "algo") std::printf(" %s=%.0f", label.c_str(), m.value);
+    }
   }
   std::printf("\n");
 
@@ -152,5 +165,11 @@ int main(int argc, char** argv) {
   const sky::QueryResult after = engine.Execute("flights", sky::QuerySpec{});
   std::printf("after refresh   : |sky(flights)|=%zu cache_hit=%s\n",
               after.ids.size(), after.cache_hit ? "true" : "false");
+
+  if (!stats_json.empty()) {
+    sky::obs::WriteTextFile(stats_json,
+                            sky::obs::RenderJson(engine.Metrics().Snapshot()));
+    std::printf("wrote metrics snapshot to %s\n", stats_json.c_str());
+  }
   return 0;
 }

@@ -83,6 +83,13 @@ struct Options {
   /// Collect dominance-test counters (small overhead).
   bool count_dts = false;
 
+  /// Record a per-query trace of the serving pipeline — plan, view build
+  /// vs. cache hit, per-shard execution, merge, cache put — attached to
+  /// QueryResult::trace (obs/trace.h). Honored by the query-engine paths
+  /// (SkylineEngine::Execute, RunQuery, RunShardedQuery); plain
+  /// ComputeSkyline calls ignore it.
+  bool trace = false;
+
   /// Seed for randomized choices (kRandom pivot).
   uint64_t seed = 42;
 

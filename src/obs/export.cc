@@ -1,0 +1,216 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sky {
+namespace obs {
+namespace {
+
+/// Shortest-faithful number: integral values (every counter) render with
+/// no fraction, everything else with enough digits to round-trip a
+/// bucket bound or a seconds sum.
+std::string FormatNumber(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` or empty; `extra` appends one more pair (histogram le).
+std::string LabelBlock(const Labels& labels,
+                       const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string last_family;
+  for (const MetricValue& m : snap.metrics) {
+    // The snapshot is sorted by name, so a family's series are adjacent;
+    // emit the HELP/TYPE header once per family.
+    if (m.name != last_family) {
+      if (!m.help.empty()) {
+        out += "# HELP " + m.name + " " + m.help + "\n";
+      }
+      out += "# TYPE " + m.name + " " + KindName(m.kind) + "\n";
+      last_family = m.name;
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramData& h = m.histogram;
+      uint64_t cum = 0;
+      for (size_t b = 0; b < h.bounds.size(); ++b) {
+        cum += h.buckets[b];
+        const std::pair<std::string, std::string> le{
+            "le", FormatNumber(h.bounds[b])};
+        out += m.name + "_bucket" + LabelBlock(m.labels, &le) + " " +
+               FormatNumber(static_cast<double>(cum)) + "\n";
+      }
+      const std::pair<std::string, std::string> le_inf{"le", "+Inf"};
+      out += m.name + "_bucket" + LabelBlock(m.labels, &le_inf) + " " +
+             FormatNumber(static_cast<double>(h.count)) + "\n";
+      out += m.name + "_sum" + LabelBlock(m.labels, nullptr) + " " +
+             FormatNumber(h.sum) + "\n";
+      out += m.name + "_count" + LabelBlock(m.labels, nullptr) + " " +
+             FormatNumber(static_cast<double>(h.count)) + "\n";
+    } else {
+      out += m.name + LabelBlock(m.labels, nullptr) + " " +
+             FormatNumber(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"schema\": \"skybench-metrics-v1\",\n"
+                    "  \"metrics\": [\n";
+  for (size_t i = 0; i < snap.metrics.size(); ++i) {
+    const MetricValue& m = snap.metrics[i];
+    out += "    {\"name\": \"" + EscapeJson(m.name) + "\", \"type\": \"" +
+           KindName(m.kind) + "\"";
+    if (!m.labels.empty()) {
+      out += ", \"labels\": {";
+      for (size_t l = 0; l < m.labels.size(); ++l) {
+        if (l > 0) out += ", ";
+        out += "\"" + EscapeJson(m.labels[l].first) + "\": \"" +
+               EscapeJson(m.labels[l].second) + "\"";
+      }
+      out += "}";
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramData& h = m.histogram;
+      out += ", \"count\": " + FormatNumber(static_cast<double>(h.count));
+      out += ", \"sum\": " + FormatNumber(h.sum);
+      out += ", \"p50\": " + FormatNumber(h.Quantile(0.50));
+      out += ", \"p90\": " + FormatNumber(h.Quantile(0.90));
+      out += ", \"p99\": " + FormatNumber(h.Quantile(0.99));
+      out += ", \"p999\": " + FormatNumber(h.Quantile(0.999));
+      out += ", \"buckets\": [";
+      uint64_t cum = 0;
+      bool first = true;
+      for (size_t b = 0; b < h.bounds.size(); ++b) {
+        // Empty buckets are elided: 91 fixed bounds would otherwise bloat
+        // every snapshot; cumulative counts keep elision lossless.
+        if (h.buckets[b] == 0) continue;
+        cum += h.buckets[b];
+        if (!first) out += ", ";
+        first = false;
+        out += "{\"le\": " + FormatNumber(h.bounds[b]) +
+               ", \"count\": " + FormatNumber(static_cast<double>(cum)) + "}";
+      }
+      if (h.count > cum) {
+        if (!first) out += ", ";
+        out += "{\"le\": \"+Inf\", \"count\": " +
+               FormatNumber(static_cast<double>(h.count)) + "}";
+      }
+      out += "]";
+    } else {
+      out += ", \"value\": " + FormatNumber(m.value);
+    }
+    out += "}";
+    if (i + 1 < snap.metrics.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == content.size() && closed;
+  if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace sky

@@ -1,0 +1,34 @@
+// Copyright (c) SkyBench-NG contributors.
+// Exposition formats for a MetricsSnapshot: Prometheus text format 0.0.4
+// (HELP/TYPE headers, label escaping, cumulative `le` histogram buckets
+// with _sum/_count) and a JSON document carrying the same data plus
+// precomputed p50/p90/p99/p999 per histogram — the form the CLI's
+// --stats-json flag and the query_service example write out.
+#ifndef SKY_OBS_EXPORT_H_
+#define SKY_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sky {
+namespace obs {
+
+/// Prometheus text exposition of the snapshot. Families (same metric
+/// name) share one # HELP / # TYPE header; histograms expand into
+/// cumulative `name_bucket{le="..."}` series plus `name_sum` and
+/// `name_count`.
+std::string RenderPrometheus(const MetricsSnapshot& snap);
+
+/// JSON document: {"schema": "skybench-metrics-v1", "metrics": [...]}
+/// with one object per metric; histograms carry count/sum/quantiles and
+/// the cumulative bucket table.
+std::string RenderJson(const MetricsSnapshot& snap);
+
+/// Write `content` to `path`; false (with a stderr diagnostic) on error.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace sky
+
+#endif  // SKY_OBS_EXPORT_H_

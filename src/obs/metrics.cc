@@ -1,0 +1,247 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sky {
+namespace obs {
+
+size_t ThisThreadCell() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricCells - 1);
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) {
+    total += c.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::runtime_error("obs: histogram needs at least one bound");
+  }
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) ||
+        (i > 0 && bounds_[i] <= bounds_[i - 1])) {
+      throw std::runtime_error(
+          "obs: histogram bounds must be finite and strictly ascending");
+    }
+  }
+  const size_t n_buckets = bounds_.size() + 1;
+  cells_ = std::make_unique<Cell[]>(kMetricCells);
+  for (size_t c = 0; c < kMetricCells; ++c) {
+    cells_[c].buckets = std::make_unique<std::atomic<uint64_t>[]>(n_buckets);
+    for (size_t b = 0; b < n_buckets; ++b) {
+      cells_[c].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  // NaN would land in the overflow bucket via the comparisons below and
+  // poison the sum; drop it (the serving layer never produces one, but a
+  // histogram is exactly where a bug like that should not compound).
+  if (std::isnan(value)) return;
+  // Bucket i holds observations <= bounds_[i] (Prometheus `le`).
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Cell& cell = cells_[ThisThreadCell()];
+  cell.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  double cur = cell.sum.load(std::memory_order_relaxed);
+  while (!cell.sum.compare_exchange_weak(cur, cur + value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.buckets.assign(bounds_.size() + 1, 0);
+  for (size_t c = 0; c < kMetricCells; ++c) {
+    for (size_t b = 0; b < data.buckets.size(); ++b) {
+      data.buckets[b] += cells_[c].buckets[b].load(std::memory_order_relaxed);
+    }
+    data.sum += cells_[c].sum.load(std::memory_order_relaxed);
+  }
+  for (const uint64_t b : data.buckets) data.count += b;
+  return data;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cum + in_bucket < target || in_bucket == 0.0) {
+      cum += in_bucket;
+      continue;
+    }
+    // The target rank lands in bucket i: interpolate linearly between its
+    // bounds. Bucket 0 starts at 0 (latencies are non-negative; a signed
+    // histogram still gets a defensible lower edge). The overflow bucket
+    // has no upper edge — clamp to the last finite bound.
+    const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : bounds.back();
+    const double frac =
+        in_bucket > 0.0 ? (target - cum) / in_bucket : 1.0;
+    return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+  }
+  return bounds.back();
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  bounds.reserve(91);
+  // 10 log-spaced buckets per decade over [1e-7 s, 1e2 s].
+  for (int e = -70; e <= 20; ++e) {
+    bounds.push_back(std::pow(10.0, static_cast<double>(e) / 10.0));
+  }
+  return bounds;
+}
+
+namespace {
+
+/// Registry key of (name, labels): name plus the sorted label pairs,
+/// joined with characters no Prometheus-legal name contains.
+std::string MetricId(const std::string& name, const Labels& labels) {
+  std::string id = name;
+  for (const auto& [k, v] : labels) {
+    id += '\x1f';
+    id += k;
+    id += '\x1e';
+    id += v;
+  }
+  return id;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::Intern(MetricKind kind,
+                                                const std::string& name,
+                                                const Labels& labels,
+                                                const std::string& help) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string id = MetricId(name, sorted);
+  auto [it, inserted] = entries_.try_emplace(id);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.name = name;
+    e.labels = std::move(sorted);
+    e.help = help;
+  } else if (e.kind != kind) {
+    throw std::runtime_error("obs: metric '" + name +
+                             "' re-registered as a different kind");
+  }
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = Intern(MetricKind::kCounter, name, labels, help);
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = Intern(MetricKind::kGauge, name, labels, help);
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = Intern(MetricKind::kHistogram, name, labels, help);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(
+        bounds.empty() ? DefaultLatencyBounds() : std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+void MetricsRegistry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.metrics.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) {
+      MetricValue v;
+      v.name = e.name;
+      v.labels = e.labels;
+      v.help = e.help;
+      v.kind = e.kind;
+      switch (e.kind) {
+        case MetricKind::kCounter:
+          v.value = static_cast<double>(e.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          v.value = e.gauge->Value();
+          break;
+        case MetricKind::kHistogram:
+          v.histogram = e.histogram->Snapshot();
+          break;
+      }
+      snap.metrics.push_back(std::move(v));
+    }
+    collectors = collectors_;
+  }
+  for (const Collector& fn : collectors) fn(snap.metrics);
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name,
+                                         const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricValue& m : metrics) {
+    if (m.name == name && m.labels == sorted) return &m;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(const std::string& name,
+                              const Labels& labels) const {
+  const MetricValue* m = Find(name, labels);
+  return m == nullptr ? 0.0 : m->value;
+}
+
+}  // namespace obs
+}  // namespace sky

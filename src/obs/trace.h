@@ -1,0 +1,81 @@
+// Copyright (c) SkyBench-NG contributors.
+// Opt-in per-query tracing: the engine records one span per pipeline
+// stage (plan, view build / cache hit, per-shard execute, merge, cache
+// put), attaches the finished tree to the QueryResult, and Render()
+// prints it as an indented tree with per-span attributes — the
+// query-granular complement to the aggregate registry in obs/metrics.h.
+// Spans are recorded post-hoc on the coordinating thread from measured
+// stage timings, so a TraceBuilder needs no synchronisation and costs
+// nothing when tracing is off (the engine simply never constructs one).
+#ifndef SKY_OBS_TRACE_H_
+#define SKY_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sky {
+namespace obs {
+
+/// One traced stage. `parent` indexes into QueryTrace::spans (-1 = root);
+/// times are seconds relative to the trace epoch (TraceBuilder
+/// construction).
+struct TraceSpan {
+  std::string name;
+  int parent = -1;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// A finished trace: spans in recording order (parents always precede
+/// their children).
+struct QueryTrace {
+  std::vector<TraceSpan> spans;
+
+  /// Indented tree, one span per line:
+  ///   query 1.52ms dataset=hotels
+  ///     plan 12.3us shards=2 pruned=2
+  ///     shard[0] 512us algo=hybrid dom_tests=52342
+  std::string Render() const;
+};
+
+/// Human-scaled duration: "840ns", "12.3us", "1.52ms", "2.041s".
+std::string FormatSeconds(double seconds);
+
+/// Single-threaded span recorder. Open/Close bracket a stage on the
+/// recording thread; AddSpan backfills a span from timings measured
+/// elsewhere (the parallel shard executors record wall times into their
+/// result slots and the coordinator emits the spans afterwards).
+class TraceBuilder {
+ public:
+  TraceBuilder();
+
+  /// Seconds since the trace epoch.
+  double Now() const;
+
+  /// Record a complete span; returns its index for Attr calls.
+  int AddSpan(std::string name, int parent, double start_seconds,
+              double duration_seconds);
+  /// Start a span now; Close stamps its duration.
+  int Open(std::string name, int parent = -1);
+  void Close(int span);
+
+  void Attr(int span, std::string key, std::string value);
+  void AttrCount(int span, std::string key, uint64_t value);
+
+  /// Hand the trace off (the builder is spent afterwards).
+  std::shared_ptr<const QueryTrace> Finish();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::shared_ptr<QueryTrace> trace_;
+};
+
+}  // namespace obs
+}  // namespace sky
+
+#endif  // SKY_OBS_TRACE_H_

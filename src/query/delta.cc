@@ -84,7 +84,7 @@ Dataset DatasetWithoutRows(const Dataset& data,
 std::shared_ptr<const Shard> ShardWithInserts(
     const Shard& shard, const Dataset& batch,
     const std::vector<size_t>& batch_rows, PointId base_global_id,
-    uint64_t sketch_seed) {
+    uint64_t sketch_seed, RepairStats* repair_stats) {
   const Dataset& old_rows = shard.rows();
   const int dims = old_rows.dims();
   const size_t old_count = old_rows.count();
@@ -184,7 +184,9 @@ std::shared_ptr<const Shard> ShardWithInserts(
   }
   if (SketchNeedsRebuild(out->sketch)) {
     out->sketch = ComputeSketch(*rows, sketch_seed);
+    if (repair_stats != nullptr) repair_stats->sketch_rebuilds += 1;
   }
+  if (repair_stats != nullptr) repair_stats->dom_tests += dts;
   out->epoch = NextShardEpoch();  // local row content changed
   out->data = std::move(rows);
   return out;
@@ -192,7 +194,8 @@ std::shared_ptr<const Shard> ShardWithInserts(
 
 std::shared_ptr<const Shard> ShardWithDeletes(
     const Shard& shard, const std::vector<PointId>& drop_local,
-    const std::vector<uint32_t>& global_shift, uint64_t sketch_seed) {
+    const std::vector<uint32_t>& global_shift, uint64_t sketch_seed,
+    RepairStats* repair_stats) {
   const Dataset& old_rows = shard.rows();
   const int dims = old_rows.dims();
   const size_t old_count = old_rows.count();
@@ -228,6 +231,7 @@ std::shared_ptr<const Shard> ShardWithDeletes(
     uint64_t dts = 0;
     dom.FilterTile(old_rows.Row(0), old_count, removed_tiles, flags.data(),
                    &dts);
+    if (repair_stats != nullptr) repair_stats->dom_tests += dts;
     for (size_t i = 0; i < old_count; ++i) {
       if (flags[i] && !deleted[i]) {
         window.Insert(std::span<const Value>(old_rows.Row(i),
@@ -266,6 +270,11 @@ std::shared_ptr<const Shard> ShardWithDeletes(
   UpdateSketchOnDelete(out->sketch, drop_local.size());
   if (SketchNeedsRebuild(out->sketch)) {
     out->sketch = ComputeSketch(*rows, sketch_seed);
+    if (repair_stats != nullptr) repair_stats->sketch_rebuilds += 1;
+  }
+  if (repair_stats != nullptr) {
+    // The re-promotion window counts its own insert scans.
+    repair_stats->dom_tests += window.dominance_tests();
   }
   out->epoch = NextShardEpoch();  // local row content changed
   out->data = std::move(rows);

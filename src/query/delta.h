@@ -23,6 +23,15 @@ namespace sky {
 /// shard's maintained skyline (later mutations repair it incrementally).
 std::vector<PointId> ComputeShardSkyline(const Dataset& rows);
 
+/// Work accounting of one shard repair, reported through the optional
+/// out-param of ShardWithInserts / ShardWithDeletes so the engine can
+/// feed its metrics registry. Repairs used to measure these and drop
+/// them on the floor; mutation work was invisible at runtime.
+struct RepairStats {
+  uint64_t dom_tests = 0;        ///< dominance tests the repair executed
+  uint64_t sketch_rebuilds = 0;  ///< exact sketch rebuilds triggered
+};
+
 /// COW replacement for `shard` with the selected batch rows appended:
 /// `batch_rows` are row indices into `batch` (the engine-level insert
 /// batch) routed to this shard, and the appended row with batch index b
@@ -33,7 +42,7 @@ std::vector<PointId> ComputeShardSkyline(const Dataset& rows);
 std::shared_ptr<const Shard> ShardWithInserts(
     const Shard& shard, const Dataset& batch,
     const std::vector<size_t>& batch_rows, PointId base_global_id,
-    uint64_t sketch_seed);
+    uint64_t sketch_seed, RepairStats* repair_stats = nullptr);
 
 /// COW replacement for `shard` with the ascending shard-local rows
 /// `drop_local` removed. Deleted skyline members trigger re-promotion:
@@ -46,7 +55,8 @@ std::shared_ptr<const Shard> ShardWithInserts(
 /// is recomputed exactly during the compaction rewrite.
 std::shared_ptr<const Shard> ShardWithDeletes(
     const Shard& shard, const std::vector<PointId>& drop_local,
-    const std::vector<uint32_t>& global_shift, uint64_t sketch_seed);
+    const std::vector<uint32_t>& global_shift, uint64_t sketch_seed,
+    RepairStats* repair_stats = nullptr);
 
 /// COW replacement for a shard no row was deleted from, with row_ids
 /// compacted through `global_shift`. Shares the row storage, box,

@@ -7,6 +7,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "common/timer.h"
@@ -144,24 +145,33 @@ void AccumulateStats(RunStats& into, const RunStats& from) {
 }
 
 /// Per-shard execute-stage output, kept alive until the merge copies the
-/// candidate rows out of the shard view.
+/// candidate rows out of the shard view. The trace fields are filled only
+/// when a TraceBuilder is attached (spans are emitted post-hoc on the
+/// coordinating thread, so worker threads just record timings here).
 struct ShardPartial {
   std::shared_ptr<const QueryView> view;  // null when the spec is identity
   std::vector<PointId> cand_rows;         // target-local candidate rows
   RunStats stats;
+  double trace_start = 0.0;    // seconds since the trace epoch
+  double trace_seconds = 0.0;  // shard wall time
+  bool view_built = false;     // view materialized (vs. cache hit)
+  bool maintained = false;     // served from the maintained shard skyline
 };
 
 /// Source of per-shard materialized views: the engine passes a lambda
 /// backed by its view cache so a band_k / top-k sweep over one box pays
 /// each shard's materialization once; the one-shot RunShardedQuery path
-/// leaves it empty and the executor materializes locally.
-using ShardViewProvider =
-    std::function<std::shared_ptr<const QueryView>(uint32_t shard_index)>;
+/// leaves it empty and the executor materializes locally. `built`
+/// (nullable) reports whether the call materialized (true) or reused a
+/// cached view — the trace's view=build|hit attribute.
+using ShardViewProvider = std::function<std::shared_ptr<const QueryView>(
+    uint32_t shard_index, bool* built)>;
 
 std::shared_ptr<const QueryView> ViewOfShard(
     const ShardMap& map, uint32_t shard_index, const QuerySpec& canon,
-    const ShardViewProvider& provider) {
-  if (provider) return provider(shard_index);
+    const ShardViewProvider& provider, bool* built) {
+  if (provider) return provider(shard_index, built);
+  if (built != nullptr) *built = true;
   return std::make_shared<const QueryView>(
       MaterializeView(map.shard(shard_index).rows(), canon));
 }
@@ -181,7 +191,9 @@ std::shared_ptr<const QueryView> ViewOfShard(
 /// non-member still meets >= k dominators there.
 QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
                                const QuerySpec& canon, const Options& opts,
-                               const ShardViewProvider& provider = {}) {
+                               const ShardViewProvider& provider = {},
+                               obs::TraceBuilder* tb = nullptr,
+                               int trace_parent = -1) {
   WallTimer timer;
   QueryResult r;
   r.shards_executed = static_cast<uint32_t>(plan.shards.size());
@@ -204,12 +216,14 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     const Shard& shard = map.shard(plan.shards[0]);
     Options one_opts = opts;
     one_opts.algorithm = algo_of(0);
+    const double span_start = tb != nullptr ? tb->Now() : 0.0;
+    bool view_built = false;
     QueryResult one;
     if (identity) {
       one = RunOnTarget(shard.rows(), &shard.row_ids, canon, one_opts);
     } else {
       const std::shared_ptr<const QueryView> view =
-          ViewOfShard(map, plan.shards[0], canon, provider);
+          ViewOfShard(map, plan.shards[0], canon, provider, &view_built);
       std::vector<PointId> composed(view->row_ids.size());
       for (size_t i = 0; i < view->row_ids.size(); ++i) {
         composed[i] = shard.row_ids[view->row_ids[i]];
@@ -220,6 +234,21 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     one.shards_executed = r.shards_executed;
     one.shards_pruned = r.shards_pruned;
     one.stats.total_seconds = timer.Seconds();
+    if (tb != nullptr) {
+      const int span =
+          tb->AddSpan("shard[" + std::to_string(plan.shards[0]) + "]",
+                      trace_parent, span_start, tb->Now() - span_start);
+      tb->Attr(span, "algo",
+               one.shard_algorithms.empty()
+                   ? AlgorithmName(one_opts.algorithm)
+                   : AlgorithmName(one.shard_algorithms[0]));
+      tb->AttrCount(span, "rows", one.matched_rows);
+      tb->AttrCount(span, "members", one.ids.size());
+      if (opts.count_dts) {
+        tb->AttrCount(span, "dom_tests", one.stats.dominance_tests);
+      }
+      if (!identity) tb->Attr(span, "view", view_built ? "build" : "hit");
+    }
     return one;
   }
 
@@ -238,6 +267,9 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   const auto run_shard = [&](size_t s) {
     const Shard& shard = map.shard(plan.shards[s]);
     ShardPartial& p = parts[s];
+    // tb->Now() only reads the immutable epoch and the steady clock, so
+    // worker threads may stamp their own slots concurrently.
+    if (tb != nullptr) p.trace_start = tb->Now();
     if (identity && canon.band_k == 1 && shard.skyline != nullptr) {
       // The mutation path maintains exactly this shard's skyline: hand
       // the merge the precomputed candidates and skip the per-shard
@@ -245,11 +277,19 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       // shortcut (filtering changes the dominance set), but identity is
       // the common serving case and the one mutations repair for.
       p.cand_rows = *shard.skyline;
+      p.maintained = true;
+      if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
       return;
     }
-    if (!identity) p.view = ViewOfShard(map, plan.shards[s], canon, provider);
+    if (!identity) {
+      p.view =
+          ViewOfShard(map, plan.shards[s], canon, provider, &p.view_built);
+    }
     const Dataset& target = identity ? shard.rows() : p.view->data;
-    if (target.count() == 0) return;
+    if (target.count() == 0) {
+      if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
+      return;
+    }
     Options one = shard_opts;
     one.algorithm = algo_of(s);
     if (canon.band_k == 1) {
@@ -261,6 +301,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       p.stats = run.stats;
       p.cand_rows = std::move(run.skyband);
     }
+    if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
   };
   if (plan.shard_threads > 1) {
     for (size_t s = 0; s < n_shards; ++s) run_shard(s);
@@ -274,6 +315,26 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   }
   r.shard_algorithms.resize(n_shards);
   for (size_t s = 0; s < n_shards; ++s) r.shard_algorithms[s] = algo_of(s);
+  if (tb != nullptr) {
+    // Spans are emitted post-hoc, in shard order, from the timings the
+    // (possibly parallel) executors stamped into their slots.
+    for (size_t s = 0; s < n_shards; ++s) {
+      const ShardPartial& p = parts[s];
+      const int span =
+          tb->AddSpan("shard[" + std::to_string(plan.shards[s]) + "]",
+                      trace_parent, p.trace_start, p.trace_seconds);
+      tb->Attr(span, "algo", AlgorithmName(algo_of(s)));
+      const Dataset& target =
+          identity ? map.shard(plan.shards[s]).rows() : p.view->data;
+      tb->AttrCount(span, "rows", target.count());
+      tb->AttrCount(span, "candidates", p.cand_rows.size());
+      if (opts.count_dts) {
+        tb->AttrCount(span, "dom_tests", p.stats.dominance_tests);
+      }
+      if (p.maintained) tb->Attr(span, "maintained", "true");
+      if (!identity) tb->Attr(span, "view", p.view_built ? "build" : "hit");
+    }
+  }
 
   int view_dims = 0;
   for (const Preference pref : canon.preferences) {
@@ -293,6 +354,9 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
 
   // Merge stage: M(S) — copy every candidate's view-space row into one
   // union set and dominance-filter it (depth-aware for k-skybands).
+  const double merge_start = tb != nullptr ? tb->Now() : 0.0;
+  uint64_t merge_dts = 0;
+  const char* merge_path = "empty";
   Dataset merged(view_dims, total);
   std::vector<PointId> merged_ids(total);
   const size_t row_bytes = sizeof(Value) * static_cast<size_t>(view_dims);
@@ -332,6 +396,8 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       if (dominated[i] == 0) members.push_back(static_cast<PointId>(i));
     }
     if (opts.count_dts) r.stats.dominance_tests += dts;
+    merge_dts = dts;
+    merge_path = "batch-filter";
     r.dominator_counts.assign(members.size(), 0u);
     if (opts.progressive && !members.empty()) {
       // The union contains the whole answer, so every survivor is a
@@ -368,13 +434,27 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     if (canon.band_k == 1) {
       Result run = ComputeSkyline(merged, merge_opts);
       AccumulateStats(r.stats, run.stats);
+      merge_dts = run.stats.dominance_tests;
       members = std::move(run.skyline);
       r.dominator_counts.assign(members.size(), 0u);
     } else {
       SkybandResult run = ComputeSkyband(merged, canon.band_k, merge_opts);
       AccumulateStats(r.stats, run.stats);
+      merge_dts = run.stats.dominance_tests;
       members = std::move(run.skyband);
       r.dominator_counts = std::move(run.dominator_counts);
+    }
+    merge_path = AlgorithmName(merge_opts.algorithm);
+  }
+  if (tb != nullptr) {
+    const int span = tb->AddSpan("merge", trace_parent, merge_start,
+                                 tb->Now() - merge_start);
+    tb->Attr(span, "strategy", MergeStrategyName(plan.merge));
+    tb->Attr(span, "path", merge_path);
+    tb->AttrCount(span, "union", total);
+    tb->AttrCount(span, "members", members.size());
+    if (opts.count_dts || merge_dts > 0) {
+      tb->AttrCount(span, "dom_tests", merge_dts);
     }
   }
   r.ids.resize(members.size());
@@ -398,21 +478,68 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
 QueryResult RunQuery(const Dataset& data, const QuerySpec& spec,
                      const Options& opts) {
   const QuerySpec canon = spec.Canonicalize(data.dims());
-  // Fast path: the native question needs no view at all.
-  if (canon.IsIdentityTransform()) {
-    return RunOnTarget(data, nullptr, canon, opts);
+  if (!opts.trace) {
+    // Fast path: the native question needs no view at all.
+    if (canon.IsIdentityTransform()) {
+      return RunOnTarget(data, nullptr, canon, opts);
+    }
+    const QueryView view = MaterializeView(data, canon);
+    QueryResult r = RunOnTarget(view.data, &view.row_ids, canon, opts);
+    r.stats.other_seconds += view.materialize_seconds;
+    r.stats.total_seconds += view.materialize_seconds;
+    return r;
   }
-  const QueryView view = MaterializeView(data, canon);
-  QueryResult r = RunOnTarget(view.data, &view.row_ids, canon, opts);
-  r.stats.other_seconds += view.materialize_seconds;
-  r.stats.total_seconds += view.materialize_seconds;
+  obs::TraceBuilder tb;
+  const int root = tb.Open("query");
+  QueryResult r;
+  if (canon.IsIdentityTransform()) {
+    const int ex = tb.Open("execute", root);
+    r = RunOnTarget(data, nullptr, canon, opts);
+    tb.Close(ex);
+    if (!r.shard_algorithms.empty()) {
+      tb.Attr(ex, "algo", AlgorithmName(r.shard_algorithms[0]));
+    }
+    tb.AttrCount(ex, "rows", r.matched_rows);
+  } else {
+    const int vs = tb.Open("view.build", root);
+    const QueryView view = MaterializeView(data, canon);
+    tb.Close(vs);
+    tb.AttrCount(vs, "rows", view.data.count());
+    const int ex = tb.Open("execute", root);
+    r = RunOnTarget(view.data, &view.row_ids, canon, opts);
+    tb.Close(ex);
+    if (!r.shard_algorithms.empty()) {
+      tb.Attr(ex, "algo", AlgorithmName(r.shard_algorithms[0]));
+    }
+    tb.AttrCount(ex, "rows", r.matched_rows);
+    r.stats.other_seconds += view.materialize_seconds;
+    r.stats.total_seconds += view.materialize_seconds;
+  }
+  tb.AttrCount(root, "members", r.ids.size());
+  tb.Close(root);
+  r.trace = tb.Finish();
   return r;
 }
 
 QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
                             const Options& opts) {
   const QuerySpec canon = spec.Canonicalize(map.dims());
-  return ExecuteShardedPlan(map, PlanQuery(map, canon, opts), canon, opts);
+  if (!opts.trace) {
+    return ExecuteShardedPlan(map, PlanQuery(map, canon, opts), canon, opts);
+  }
+  obs::TraceBuilder tb;
+  const int root = tb.Open("query");
+  const int ps = tb.Open("plan", root);
+  const ExecutionPlan plan = PlanQuery(map, canon, opts);
+  tb.Close(ps);
+  tb.AttrCount(ps, "shards", plan.shards.size());
+  tb.AttrCount(ps, "pruned", plan.pruned);
+  tb.Attr(ps, "merge", MergeStrategyName(plan.merge));
+  QueryResult r = ExecuteShardedPlan(map, plan, canon, opts, {}, &tb, root);
+  tb.AttrCount(root, "members", r.ids.size());
+  tb.Close(root);
+  r.trace = tb.Finish();
+  return r;
 }
 
 size_t QueryResultBytes(const QueryResult& r) {
@@ -496,7 +623,118 @@ SkylineEngine::SkylineEngine(Config config)
              &QueryResultBytes, config.result_cache_ttl),
       view_cache_(config.view_cache_capacity, config.view_cache_bytes,
                   &QueryViewBytes),
-      selectivity_cache_(256) {}
+      selectivity_cache_(256) {
+  WireInstruments();
+}
+
+EngineMetricsSnapshot SkylineEngine::MetricsSnapshot() const {
+  EngineMetricsSnapshot s;
+  s.result_cache = cache_.counters();
+  s.view_cache = view_cache_.counters();
+  s.selectivity_cache = selectivity_cache_.counters();
+  std::shared_lock lock(registry_mu_);
+  s.datasets = registry_.size();
+  return s;
+}
+
+namespace {
+
+/// Append one LRU cache's counters as registry-style metric values —
+/// the caches keep their own counters under their own mutex (they work
+/// even with Config::metrics off), so the registry reads them at
+/// snapshot time through a collector instead of double-counting on the
+/// hot path.
+template <typename Counters>
+void AppendCacheMetrics(const std::string& which, const Counters& c,
+                        std::vector<obs::MetricValue>& out) {
+  const auto push = [&out](std::string name, const char* help,
+                           obs::MetricKind kind, double value) {
+    obs::MetricValue m;
+    m.name = std::move(name);
+    m.help = help;
+    m.kind = kind;
+    m.value = value;
+    out.push_back(std::move(m));
+  };
+  const std::string base = "sky_" + which + "_cache_";
+  using obs::MetricKind;
+  push(base + "hits_total", "Cache hits", MetricKind::kCounter,
+       static_cast<double>(c.hits));
+  push(base + "misses_total", "Cache misses", MetricKind::kCounter,
+       static_cast<double>(c.misses));
+  push(base + "evictions_total", "Evictions, any cause",
+       MetricKind::kCounter, static_cast<double>(c.evictions));
+  push(base + "byte_evictions_total", "Evictions forced by the byte budget",
+       MetricKind::kCounter, static_cast<double>(c.byte_evictions));
+  push(base + "ttl_evictions_total", "Entries lazily expired by the TTL",
+       MetricKind::kCounter, static_cast<double>(c.ttl_evictions));
+  push(base + "entries", "Entries currently resident", MetricKind::kGauge,
+       static_cast<double>(c.entries));
+  push(base + "bytes", "Priced payload bytes currently resident",
+       MetricKind::kGauge, static_cast<double>(c.bytes));
+}
+
+}  // namespace
+
+void SkylineEngine::WireInstruments() {
+  inst_.queries = metrics_.GetCounter("sky_engine_queries_total", {},
+                                      "Queries served, hits included");
+  inst_.latency = metrics_.GetHistogram("sky_query_latency_seconds", {},
+                                        "End-to-end Execute latency");
+  inst_.compute = metrics_.GetHistogram(
+      "sky_query_compute_seconds", {},
+      "Execute latency of result-cache misses (plan + execute + merge)");
+  inst_.view_builds = metrics_.GetCounter(
+      "sky_engine_view_builds_total", {},
+      "Views materialized (view-cache misses and epoch rejections)");
+  inst_.inserts = metrics_.GetCounter("sky_mutation_inserts_total", {},
+                                      "InsertPoints batches applied");
+  inst_.deletes = metrics_.GetCounter("sky_mutation_deletes_total", {},
+                                      "DeletePoints batches applied");
+  inst_.rows_inserted = metrics_.GetCounter("sky_mutation_rows_inserted_total",
+                                            {}, "Rows appended by mutations");
+  inst_.rows_deleted = metrics_.GetCounter("sky_mutation_rows_deleted_total",
+                                           {}, "Rows removed by mutations");
+  inst_.retries = metrics_.GetCounter(
+      "sky_mutation_retries_total", {},
+      "Mutation repairs discarded by a racing re-registration and retried");
+  inst_.repair_dom_tests = metrics_.GetCounter(
+      "sky_mutation_repair_dom_tests_total", {},
+      "Dominance tests spent repairing shard skylines after mutations");
+  inst_.sketch_rebuilds = metrics_.GetCounter(
+      "sky_sketch_rebuilds_total", {},
+      "Exact sketch rebuilds triggered by mutation staleness");
+  inst_.mutation_latency = metrics_.GetHistogram(
+      "sky_mutation_seconds", {},
+      "End-to-end InsertPoints / DeletePoints latency");
+  inst_.invalidated_results = metrics_.GetCounter(
+      "sky_invalidated_results_total", {},
+      "Cached results erased by mutation fixups");
+  inst_.invalidated_views = metrics_.GetCounter(
+      "sky_invalidated_views_total", {},
+      "Cached views erased by mutation fixups");
+  inst_.invalidated_selectivities = metrics_.GetCounter(
+      "sky_invalidated_selectivities_total", {},
+      "Cached selectivity estimates erased by mutation fixups");
+  for (size_t a = 0; a < inst_.algorithm.size(); ++a) {
+    inst_.algorithm[a] = metrics_.GetCounter(
+        "sky_engine_algorithm_total",
+        {{"algo", AlgorithmName(static_cast<Algorithm>(a))}},
+        "Executed shards by resolved algorithm");
+  }
+  metrics_.AddCollector([this](std::vector<obs::MetricValue>& out) {
+    const EngineMetricsSnapshot s = MetricsSnapshot();
+    AppendCacheMetrics("result", s.result_cache, out);
+    AppendCacheMetrics("view", s.view_cache, out);
+    AppendCacheMetrics("selectivity", s.selectivity_cache, out);
+    obs::MetricValue datasets;
+    datasets.name = "sky_datasets";
+    datasets.help = "Registered datasets";
+    datasets.kind = obs::MetricKind::kGauge;
+    datasets.value = static_cast<double>(s.datasets);
+    out.push_back(std::move(datasets));
+  });
+}
 
 namespace {
 
@@ -701,6 +939,7 @@ std::vector<std::string> SkylineEngine::DatasetNames() const {
 QueryResult SkylineEngine::Execute(const std::string& name,
                                    const QuerySpec& spec,
                                    const Options& opts) {
+  WallTimer timer;
   std::shared_ptr<const Dataset> data;
   std::shared_ptr<const ShardMap> shards;
   std::shared_ptr<const StatsSketch> sketch;
@@ -741,7 +980,34 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
     QueryResult out = *hit;
     out.cache_hit = true;
+    if (config_.metrics) {
+      inst_.queries->Add();
+      inst_.latency->Observe(timer.Seconds());
+    }
+    if (eff.trace) {
+      // Cached entries never carry the producing run's trace; a hit gets
+      // a fresh two-span tree stamped post-hoc from the measured lookup.
+      obs::TraceBuilder tb;
+      const double elapsed = timer.Seconds();
+      const int root = tb.AddSpan("query", -1, 0.0, elapsed);
+      tb.Attr(root, "dataset", name);
+      tb.Attr(root, "cache", "hit");
+      tb.AttrCount(root, "members", out.ids.size());
+      tb.AddSpan("cache.get", root, 0.0, elapsed);
+      out.trace = tb.Finish();
+    }
     return out;
+  }
+
+  std::optional<obs::TraceBuilder> trace_builder;
+  if (eff.trace) trace_builder.emplace();
+  obs::TraceBuilder* tb =
+      trace_builder.has_value() ? &*trace_builder : nullptr;
+  int root = -1;
+  if (tb != nullptr) {
+    root = tb->Open("query");
+    tb->Attr(root, "dataset", name);
+    tb->Attr(root, "cache", "miss");
   }
 
   // Unsharded kAuto requests resolve here, from the registration-time
@@ -785,13 +1051,15 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     // would read out of bounds or return wrong global ids — and the
     // reader rebuilds from its own snapshot instead (PutViewIfCurrent
     // keeps a stale rebuild out of the cache).
-    const ShardViewProvider provider = [&](uint32_t shard_index) {
+    const ShardViewProvider provider = [&](uint32_t shard_index,
+                                           bool* built_out) {
       const std::string view_key = prefix + "v|s" +
                                    std::to_string(shard_index) + "|" +
                                    canon.ViewKey();
       const uint64_t epoch = shards->shard(shard_index).epoch;
       std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
-      if (view == nullptr || view->source_epoch != epoch) {
+      const bool rebuild = view == nullptr || view->source_epoch != epoch;
+      if (rebuild) {
         QueryView built =
             MaterializeView(shards->shard(shard_index).rows(), canon);
         built.constraints = canon.constraints;
@@ -800,21 +1068,44 @@ QueryResult SkylineEngine::Execute(const std::string& name,
         auto holder = std::make_shared<const QueryView>(std::move(built));
         PutViewIfCurrent(name, version, minor, view_key, holder);
         view = std::move(holder);
+        if (config_.metrics) inst_.view_builds->Add();
       }
+      if (built_out != nullptr) *built_out = rebuild;
       return view;
     };
-    fresh = ExecuteShardedPlan(*shards, PlanQuery(*shards, canon, eff), canon,
-                               eff, provider);
+    int plan_span = -1;
+    if (tb != nullptr) plan_span = tb->Open("plan", root);
+    const ExecutionPlan plan = PlanQuery(
+        *shards, canon, eff, config_.metrics ? &metrics_ : nullptr);
+    if (tb != nullptr) {
+      tb->Close(plan_span);
+      tb->AttrCount(plan_span, "shards", plan.shards.size());
+      tb->AttrCount(plan_span, "pruned", plan.pruned);
+      tb->Attr(plan_span, "merge", MergeStrategyName(plan.merge));
+      tb->AttrCount(plan_span, "shard_threads",
+                    static_cast<uint64_t>(plan.shard_threads));
+    }
+    fresh = ExecuteShardedPlan(*shards, plan, canon, eff, provider, tb, root);
   } else if (canon.IsIdentityTransform()) {
+    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
     fresh = RunOnTarget(*data, nullptr, canon, eff);
+    if (tb != nullptr) {
+      tb->Close(ex);
+      if (!fresh.shard_algorithms.empty()) {
+        tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
+      }
+      tb->AttrCount(ex, "rows", fresh.matched_rows);
+    }
   } else {
     // View reuse: specs sharing preferences/projection/constraints (same
     // ViewKey) share one materialized view, so e.g. a band_k / top-k
     // sweep over one box pays materialization once.
     const std::string view_key = prefix + "v|" + canon.ViewKey();
+    const int vs = tb != nullptr ? tb->Open("view", root) : -1;
     std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
     double build_seconds = 0.0;
-    if (view == nullptr) {
+    const bool view_built = view == nullptr;
+    if (view_built) {
       QueryView built = MaterializeView(*data, canon);
       built.constraints = canon.constraints;
       built.source_shard = -1;
@@ -822,14 +1113,49 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       build_seconds = holder->materialize_seconds;
       PutViewIfCurrent(name, version, minor, view_key, holder);
       view = std::move(holder);
+      if (config_.metrics) inst_.view_builds->Add();
     }
+    if (tb != nullptr) {
+      tb->Close(vs);
+      tb->Attr(vs, "source", view_built ? "build" : "hit");
+      tb->AttrCount(vs, "rows", view->data.count());
+    }
+    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
     fresh = RunOnTarget(view->data, &view->row_ids, canon, eff);
+    if (tb != nullptr) {
+      tb->Close(ex);
+      if (!fresh.shard_algorithms.empty()) {
+        tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
+      }
+      tb->AttrCount(ex, "rows", fresh.matched_rows);
+    }
     fresh.stats.other_seconds += build_seconds;
     fresh.stats.total_seconds += build_seconds;
   }
   fresh.constraints = canon.constraints;
+  if (config_.metrics) {
+    inst_.queries->Add();
+    // Planner decision tally: one bump per executed shard under the
+    // algorithm it actually ran (covers explicit, auto, sharded and
+    // unsharded paths uniformly).
+    for (const Algorithm a : fresh.shard_algorithms) {
+      inst_.algorithm[static_cast<size_t>(a)]->Add();
+    }
+  }
+  const int put = tb != nullptr ? tb->Open("cache.put", root) : -1;
   PutResultIfCurrent(name, version, minor, key,
                      std::make_shared<const QueryResult>(fresh));
+  if (tb != nullptr) {
+    tb->Close(put);
+    tb->AttrCount(root, "members", fresh.ids.size());
+    tb->Close(root);
+    fresh.trace = tb->Finish();
+  }
+  if (config_.metrics) {
+    const double elapsed = timer.Seconds();
+    inst_.latency->Observe(elapsed);
+    inst_.compute->Observe(elapsed);
+  }
   return fresh;
 }
 
@@ -872,6 +1198,7 @@ uint64_t SkylineEngine::MinorVersion(const std::string& name) const {
 
 uint64_t SkylineEngine::InsertPoints(const std::string& name,
                                      const Dataset& rows) {
+  WallTimer timer;
   std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
   // The repair runs without the registry lock (every input is an
   // immutable COW snapshot); publish revalidates under the exclusive
@@ -938,8 +1265,10 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
       }
       // Each touched shard's repair is an independent pure function of
       // immutable inputs, so the repairs run in parallel (a pool of 1
-      // runs inline with no synchronisation).
+      // runs inline with no synchronisation). Each slot gets its own
+      // RepairStats; summed after the join.
       std::vector<std::shared_ptr<const Shard>> repaired(touched_idx.size());
+      std::vector<RepairStats> repair_stats(touched_idx.size());
       ThreadPool repair_pool(std::min<int>(
           ThreadPool::DefaultThreads(),
           static_cast<int>(touched_idx.size())));
@@ -949,17 +1278,28 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
               const size_t s = touched_idx[t];
               repaired[t] = ShardWithInserts(map->shard(s), rows, routed[s],
                                              static_cast<PointId>(count),
-                                             /*sketch_seed=*/version + s);
+                                             /*sketch_seed=*/version + s,
+                                             &repair_stats[t]);
             }
           });
       for (size_t t = 0; t < touched_idx.size(); ++t) {
         next.ReplaceShard(touched_idx[t], std::move(repaired[t]));
+      }
+      if (config_.metrics) {
+        RepairStats sum;
+        for (const RepairStats& rs : repair_stats) {
+          sum.dom_tests += rs.dom_tests;
+          sum.sketch_rebuilds += rs.sketch_rebuilds;
+        }
+        inst_.repair_dom_tests->Add(sum.dom_tests);
+        inst_.sketch_rebuilds->Add(sum.sketch_rebuilds);
       }
       new_map = std::make_shared<const ShardMap>(std::move(next));
       UpdateSketchOnInsert(*new_sketch, rows.Row(0), rows.stride(), add);
       if (SketchNeedsRebuild(*new_sketch)) {
         *new_sketch =
             ComputeSketch(*ReconcatenateRows(*new_map, dims, count + add));
+        if (config_.metrics) inst_.sketch_rebuilds->Add();
       }
     } else {
       new_data = std::make_shared<const Dataset>(
@@ -967,6 +1307,7 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
       UpdateSketchOnInsert(*new_sketch, rows.Row(0), rows.stride(), add);
       if (SketchNeedsRebuild(*new_sketch)) {
         *new_sketch = ComputeSketch(*new_data);
+        if (config_.metrics) inst_.sketch_rebuilds->Add();
       }
     }
 
@@ -976,7 +1317,10 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
       throw std::runtime_error("query engine: dataset '" + name +
                                "' evicted during InsertPoints");
     }
-    if (it->second.version != version) continue;  // replaced: retry
+    if (it->second.version != version) {
+      if (config_.metrics) inst_.retries->Add();
+      continue;  // replaced: retry
+    }
     it->second.data = std::move(new_data);  // null for sharded datasets
     it->second.shards = std::move(new_map);
     it->second.sketch = std::move(new_sketch);
@@ -984,12 +1328,18 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
     const uint64_t bumped = ++it->second.minor;
     FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
                       /*id_shift=*/{});
+    if (config_.metrics) {
+      inst_.inserts->Add();
+      inst_.rows_inserted->Add(add);
+      inst_.mutation_latency->Observe(timer.Seconds());
+    }
     return bumped;
   }
 }
 
 uint64_t SkylineEngine::DeletePoints(const std::string& name,
                                      std::span<const PointId> ids) {
+  WallTimer timer;
   std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
   for (;;) {
     std::shared_ptr<const Dataset> data;
@@ -1066,6 +1416,7 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
         if (touched[s]) touched_idx.push_back(s);
       }
       if (!touched_idx.empty()) {
+        std::vector<RepairStats> repair_stats(touched_idx.size());
         ThreadPool repair_pool(std::min<int>(
             ThreadPool::DefaultThreads(),
             static_cast<int>(touched_idx.size())));
@@ -1075,9 +1426,19 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
                 const size_t s = touched_idx[t];
                 repaired[s] =
                     ShardWithDeletes(map->shard(s), drop_locals[s], shift,
-                                     /*sketch_seed=*/version + s);
+                                     /*sketch_seed=*/version + s,
+                                     &repair_stats[t]);
               }
             });
+        if (config_.metrics) {
+          RepairStats sum;
+          for (const RepairStats& rs : repair_stats) {
+            sum.dom_tests += rs.dom_tests;
+            sum.sketch_rebuilds += rs.sketch_rebuilds;
+          }
+          inst_.repair_dom_tests->Add(sum.dom_tests);
+          inst_.sketch_rebuilds->Add(sum.sketch_rebuilds);
+        }
       }
       for (size_t s = 0; s < n_shards; ++s) {
         next.ReplaceShard(s, touched[s]
@@ -1089,6 +1450,7 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
       if (SketchNeedsRebuild(*new_sketch)) {
         *new_sketch = ComputeSketch(
             *ReconcatenateRows(*new_map, dims, count - drop.size()));
+        if (config_.metrics) inst_.sketch_rebuilds->Add();
       }
     } else {
       for (const PointId id : drop) GrowBox(mut_lo, mut_hi, data->Row(id), dims);
@@ -1097,6 +1459,7 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
       UpdateSketchOnDelete(*new_sketch, drop.size());
       if (SketchNeedsRebuild(*new_sketch)) {
         *new_sketch = ComputeSketch(*new_data);
+        if (config_.metrics) inst_.sketch_rebuilds->Add();
       }
     }
 
@@ -1106,7 +1469,10 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
       throw std::runtime_error("query engine: dataset '" + name +
                                "' evicted during DeletePoints");
     }
-    if (it->second.version != version) continue;  // replaced: retry
+    if (it->second.version != version) {
+      if (config_.metrics) inst_.retries->Add();
+      continue;  // replaced: retry
+    }
     it->second.data = std::move(new_data);  // null for sharded datasets
     it->second.shards = std::move(new_map);
     it->second.sketch = std::move(new_sketch);
@@ -1114,6 +1480,11 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
     const uint64_t bumped = ++it->second.minor;
     FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
                       shift);
+    if (config_.metrics) {
+      inst_.deletes->Add();
+      inst_.rows_deleted->Add(drop.size());
+      inst_.mutation_latency->Observe(timer.Seconds());
+    }
     return bumped;
   }
 }
@@ -1130,7 +1501,7 @@ void SkylineEngine::FixupCachesLocked(
   // matched_rows are all unchanged. Deletes still compact the surviving
   // ids through `id_shift` (no surviving entry can reference a deleted
   // row: deleted rows are outside its box).
-  cache_.EditPrefix(
+  const size_t results_erased = cache_.EditPrefix(
       prefix,
       [&](const std::string&, const std::shared_ptr<const QueryResult>& v)
           -> std::shared_ptr<const QueryResult> {
@@ -1151,7 +1522,7 @@ void SkylineEngine::FixupCachesLocked(
   // iff its box excludes every inserted row; any delete erases it — its
   // row_ids are global, and remapping them would deep-copy the
   // dataset-sized view for little gain.
-  view_cache_.EditPrefix(
+  const size_t views_erased = view_cache_.EditPrefix(
       prefix,
       [&](const std::string&, const std::shared_ptr<const QueryView>& v)
           -> std::shared_ptr<const QueryView> {
@@ -1171,7 +1542,7 @@ void SkylineEngine::FixupCachesLocked(
   // selection, never correctness), so box-excluded entries survive even
   // though the total row count drifted; intersecting ones are
   // re-estimated on the next miss from the staleness-damped sketch.
-  selectivity_cache_.EditPrefix(
+  const size_t selectivities_erased = selectivity_cache_.EditPrefix(
       prefix,
       [&](const std::string&, const std::shared_ptr<const SelectivityEntry>& v)
           -> std::shared_ptr<const SelectivityEntry> {
@@ -1181,6 +1552,11 @@ void SkylineEngine::FixupCachesLocked(
         }
         return v;
       });
+  if (config_.metrics) {
+    inst_.invalidated_results->Add(results_erased);
+    inst_.invalidated_views->Add(views_erased);
+    inst_.invalidated_selectivities->Add(selectivities_erased);
+  }
 }
 
 }  // namespace sky

@@ -21,6 +21,7 @@
 #ifndef SKY_QUERY_ENGINE_H_
 #define SKY_QUERY_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,6 +33,8 @@
 
 #include "core/options.h"
 #include "data/sketch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/planner.h"
 #include "query/query_spec.h"
 #include "query/result_cache.h"
@@ -60,6 +63,10 @@ struct QueryResult {
   /// the mutation path's invalidation key: a cached result survives a
   /// mutation iff its box provably excludes every mutated row.
   std::vector<DimConstraint> constraints;
+  /// Per-query span tree, present iff Options::trace was set (obs/trace.h;
+  /// render with trace->Render()). Never stored in the result cache — a
+  /// cache hit carries a fresh two-span hit trace, not the producer's.
+  std::shared_ptr<const obs::QueryTrace> trace;
 };
 
 /// Payload bytes of a result for the cache's byte budget.
@@ -86,6 +93,8 @@ QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
 /// dominator counts) against `r`. O(view^2); test and --verify use.
 bool VerifyQuery(const Dataset& data, const QuerySpec& spec,
                  const QueryResult& r);
+
+struct EngineMetricsSnapshot;
 
 class SkylineEngine {
  public:
@@ -116,6 +125,12 @@ class SkylineEngine {
     /// request as Algorithm::kAuto, letting the cost model pick per
     /// query and per shard regardless of the caller's Options.
     bool auto_algorithm = false;
+    /// Feed the engine's metrics registry (query counters, latency
+    /// histograms, planner / mutation / invalidation tallies). Off turns
+    /// every registry update into a skipped branch — the measured-overhead
+    /// baseline of bench/perf_smoke's metrics pair. The per-cache LRU
+    /// counters are maintained by the caches regardless.
+    bool metrics = true;
   };
 
   SkylineEngine();  // default Config
@@ -200,12 +215,6 @@ class SkylineEngine {
     view_cache_.Clear();
     selectivity_cache_.Clear();
   }
-  LruCache<QueryResult>::Counters cache_counters() const {
-    return cache_.counters();
-  }
-  LruCache<QueryView>::Counters view_cache_counters() const {
-    return view_cache_.counters();
-  }
 
   /// A cached constraint-selectivity estimate plus the constraint box it
   /// was estimated for (the mutation path's invalidation key).
@@ -213,9 +222,21 @@ class SkylineEngine {
     double value = 1.0;
     std::vector<DimConstraint> constraints;
   };
-  LruCache<SelectivityEntry>::Counters selectivity_cache_counters() const {
-    return selectivity_cache_.counters();
-  }
+
+  /// One coherent engine-health snapshot (EngineMetricsSnapshot, defined
+  /// below): all three cache counter sets plus the registered-dataset
+  /// count, read in one call. The per-cache accessors below are thin
+  /// shims over this.
+  EngineMetricsSnapshot MetricsSnapshot() const;
+  LruCache<QueryResult>::Counters cache_counters() const;
+  LruCache<QueryView>::Counters view_cache_counters() const;
+  LruCache<SelectivityEntry>::Counters selectivity_cache_counters() const;
+
+  /// The engine's metrics registry — every counter/histogram the serving
+  /// and mutation paths feed (plus the cache-counter collector), ready
+  /// for obs/export.h. Snapshotting is safe concurrently with serving.
+  obs::MetricsRegistry& Metrics() { return metrics_; }
+  const obs::MetricsRegistry& Metrics() const { return metrics_; }
 
  private:
   struct Registered {
@@ -260,7 +281,36 @@ class SkylineEngine {
                          const std::vector<uint8_t>& touched_shards,
                          const std::vector<uint32_t>& id_shift);
 
+  /// Hot-path instruments, interned once at construction so serving
+  /// threads never touch the registry mutex (obs/metrics.h pointers are
+  /// stable for the registry's lifetime).
+  struct Instruments {
+    obs::Counter* queries = nullptr;        ///< sky_engine_queries_total
+    obs::Histogram* latency = nullptr;      ///< sky_query_latency_seconds
+    obs::Histogram* compute = nullptr;      ///< sky_query_compute_seconds
+    obs::Counter* view_builds = nullptr;    ///< sky_engine_view_builds_total
+    obs::Counter* inserts = nullptr;        ///< sky_mutation_inserts_total
+    obs::Counter* deletes = nullptr;        ///< sky_mutation_deletes_total
+    obs::Counter* rows_inserted = nullptr;
+    obs::Counter* rows_deleted = nullptr;
+    obs::Counter* retries = nullptr;  ///< sky_mutation_retries_total
+    obs::Counter* repair_dom_tests = nullptr;
+    obs::Counter* sketch_rebuilds = nullptr;
+    obs::Histogram* mutation_latency = nullptr;  ///< sky_mutation_seconds
+    obs::Counter* invalidated_results = nullptr;
+    obs::Counter* invalidated_views = nullptr;
+    obs::Counter* invalidated_selectivities = nullptr;
+    /// sky_engine_algorithm_total{algo=...}, indexed by Algorithm value —
+    /// one bump per executed shard (the planner decision tally).
+    std::array<obs::Counter*, static_cast<size_t>(Algorithm::kAuto) + 1>
+        algorithm{};
+  };
+
+  void WireInstruments();
+
   const Config config_;
+  obs::MetricsRegistry metrics_;
+  Instruments inst_;
   mutable std::shared_mutex registry_mu_;
   std::map<std::string, Registered> registry_;  // guarded by registry_mu_
   uint64_t next_version_ = 1;                   // guarded by registry_mu_
@@ -277,6 +327,28 @@ class SkylineEngine {
   /// constraint box so mutations can invalidate selectively.
   LruCache<SelectivityEntry> selectivity_cache_;
 };
+
+/// Unified engine-health snapshot: all three cache counter sets plus the
+/// registered-dataset count, read through one call instead of three
+/// accessors whose values could straddle concurrent traffic.
+struct EngineMetricsSnapshot {
+  LruCache<QueryResult>::Counters result_cache;
+  LruCache<QueryView>::Counters view_cache;
+  LruCache<SkylineEngine::SelectivityEntry>::Counters selectivity_cache;
+  size_t datasets = 0;
+};
+
+inline LruCache<QueryResult>::Counters SkylineEngine::cache_counters() const {
+  return MetricsSnapshot().result_cache;
+}
+inline LruCache<QueryView>::Counters SkylineEngine::view_cache_counters()
+    const {
+  return MetricsSnapshot().view_cache;
+}
+inline LruCache<SkylineEngine::SelectivityEntry>::Counters
+SkylineEngine::selectivity_cache_counters() const {
+  return MetricsSnapshot().selectivity_cache;
+}
 
 }  // namespace sky
 

@@ -59,8 +59,27 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon) {
 }
 
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
-                        const Options& opts) {
+                        const Options& opts, obs::MetricsRegistry* metrics) {
   ExecutionPlan plan = PlanQuery(map, canon);
+  if (metrics != nullptr) {
+    // Interning is a mutex + map lookup — fine at plan frequency, and it
+    // keeps the planner free of any stored instrument state.
+    metrics->GetCounter("sky_planner_plans_total", {},
+                        "Execution plans built")->Add();
+    metrics
+        ->GetCounter("sky_planner_shards_executed_total", {},
+                     "Shards surviving box pruning, summed over plans")
+        ->Add(plan.shards.size());
+    metrics
+        ->GetCounter("sky_planner_shards_pruned_total", {},
+                     "Shards skipped by constraint-box pruning")
+        ->Add(plan.pruned);
+    metrics
+        ->GetCounter("sky_planner_merge_total",
+                     {{"strategy", MergeStrategyName(plan.merge)}},
+                     "Plans by merge strategy")
+        ->Add();
+  }
   if (opts.algorithm != Algorithm::kAuto || plan.shards.empty()) return plan;
 
   // Thread budget. Across-shard mode (budget 1 each, S shards in

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "obs/metrics.h"
 #include "query/query_spec.h"
 #include "query/shard_map.h"
 
@@ -73,9 +74,14 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon);
 
 /// Adaptive variant: additionally resolves per-shard algorithms, the
 /// shard thread budget and the merge algorithm when opts.algorithm is
-/// kAuto (identical to the two-argument form otherwise).
+/// kAuto (identical to the two-argument form otherwise). A non-null
+/// `metrics` registry receives the planner's decision tallies —
+/// sky_planner_plans_total, sky_planner_shards_{executed,pruned}_total
+/// and the per-strategy sky_planner_merge_total — at plan time, where
+/// the decisions are made.
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
-                        const Options& opts);
+                        const Options& opts,
+                        obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace sky
 

@@ -1,0 +1,246 @@
+// Copyright (c) SkyBench-NG contributors.
+// Exposition tests (obs/export.h): every Prometheus line must parse as a
+// comment or a `name{labels} value` sample, histogram families must
+// expand into cumulative le-buckets capped by +Inf with _sum/_count,
+// label values must be escaped, and the JSON document must be balanced
+// and carry the schema marker, quantiles and bucket tables.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sky::obs {
+namespace {
+
+/// Registry with one of everything: plain counter, labeled counter
+/// family, gauge, small-bounds histogram, and a label value exercising
+/// the escaper.
+void Populate(MetricsRegistry& reg) {
+  reg.GetCounter("sky_requests_total", {}, "Total requests served")
+      ->Add(1234);
+  reg.GetCounter("sky_rpc_total", {{"method", "query"}}, "RPCs by method")
+      ->Add(7);
+  reg.GetCounter("sky_rpc_total", {{"method", "insert"}}, "RPCs by method")
+      ->Add(3);
+  reg.GetCounter("sky_odd_total", {{"note", "a\"b\\c\nd"}})->Add(1);
+  reg.GetGauge("sky_cache_entries", {}, "Live cache entries")->Set(42.0);
+  Histogram* h = reg.GetHistogram("sky_lat_seconds", {}, "Query latency",
+                                  {0.001, 0.01, 0.1});
+  h->Observe(0.0005);
+  h->Observe(0.005);
+  h->Observe(0.005);
+  h->Observe(0.05);
+  h->Observe(5.0);  // overflow
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+bool IsMetricNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+/// Parse one sample line as `name{labels} value` / `name value`; the
+/// label block may not nest and the value must parse as a double
+/// consuming the whole token.
+bool ParseSampleLine(const std::string& line, std::string* name,
+                     double* value) {
+  size_t i = 0;
+  while (i < line.size() && IsMetricNameChar(line[i])) ++i;
+  if (i == 0) return false;
+  *name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    // Labels: k="v" pairs; quotes may contain escaped characters.
+    ++i;
+    bool in_string = false;
+    for (; i < line.size(); ++i) {
+      if (in_string) {
+        if (line[i] == '\\') {
+          ++i;  // skip the escaped character
+        } else if (line[i] == '"') {
+          in_string = false;
+        }
+      } else if (line[i] == '"') {
+        in_string = true;
+      } else if (line[i] == '}') {
+        break;
+      }
+    }
+    if (i >= line.size() || line[i] != '}') return false;
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  const std::string token = line.substr(i + 1);
+  if (token.empty()) return false;
+  char trailing = 0;
+  return std::sscanf(token.c_str(), "%lf%c", value, &trailing) == 1;
+}
+
+TEST(PrometheusTest, EveryLineParses) {
+  MetricsRegistry reg;
+  Populate(reg);
+  const std::string text = RenderPrometheus(reg.Snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    std::string name;
+    double value = 0.0;
+    EXPECT_TRUE(ParseSampleLine(line, &name, &value)) << "line: " << line;
+  }
+}
+
+TEST(PrometheusTest, TypeHeaderOncePerFamilyBeforeSamples) {
+  MetricsRegistry reg;
+  Populate(reg);
+  const std::string text = RenderPrometheus(reg.Snapshot());
+  const std::vector<std::string> lines = Lines(text);
+  int rpc_type_lines = 0;
+  int rpc_samples_before_type = 0;
+  bool rpc_type_seen = false;
+  for (const std::string& line : lines) {
+    if (line == "# TYPE sky_rpc_total counter") {
+      ++rpc_type_lines;
+      rpc_type_seen = true;
+    } else if (line.rfind("sky_rpc_total{", 0) == 0 && !rpc_type_seen) {
+      ++rpc_samples_before_type;
+    }
+  }
+  EXPECT_EQ(rpc_type_lines, 1);  // one header for the two-series family
+  EXPECT_EQ(rpc_samples_before_type, 0);
+  EXPECT_NE(text.find("# HELP sky_requests_total Total requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sky_lat_seconds histogram\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry reg;
+  Populate(reg);
+  const std::string text = RenderPrometheus(reg.Snapshot());
+  std::vector<double> bucket_counts;
+  double count = -1.0, sum = -1.0, inf = -1.0;
+  for (const std::string& line : Lines(text)) {
+    std::string name;
+    double value = 0.0;
+    if (line.empty() || line[0] == '#' ||
+        !ParseSampleLine(line, &name, &value)) {
+      continue;
+    }
+    if (name == "sky_lat_seconds_bucket") {
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf = value;
+      } else {
+        bucket_counts.push_back(value);
+      }
+    } else if (name == "sky_lat_seconds_count") {
+      count = value;
+    } else if (name == "sky_lat_seconds_sum") {
+      sum = value;
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), 3u);  // one series per finite bound
+  EXPECT_EQ(bucket_counts[0], 1.0);     // <= 0.001
+  EXPECT_EQ(bucket_counts[1], 3.0);     // <= 0.01 (cumulative)
+  EXPECT_EQ(bucket_counts[2], 4.0);     // <= 0.1
+  EXPECT_EQ(inf, 5.0);                  // +Inf == _count
+  EXPECT_EQ(count, 5.0);
+  EXPECT_NEAR(sum, 5.0605, 1e-9);
+  for (size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]);
+  }
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  Populate(reg);
+  const std::string text = RenderPrometheus(reg.Snapshot());
+  EXPECT_NE(text.find("sky_odd_total{note=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+/// Minimal well-formedness walk: braces/brackets balance outside string
+/// literals and the depth never goes negative.
+bool JsonBalanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonTest, DocumentIsBalancedAndCarriesSchema) {
+  MetricsRegistry reg;
+  Populate(reg);
+  const std::string json = RenderJson(reg.Snapshot());
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"schema\": \"skybench-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sky_requests_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"labels\": {\"method\": \"query\"}"),
+            std::string::npos);
+  // Histograms carry count/sum, precomputed quantiles and the cumulative
+  // bucket table capped by +Inf (present here: one observation overflowed).
+  EXPECT_NE(json.find("\"count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 5}"),
+            std::string::npos);
+  // The escaper covers JSON specials in label values.
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(JsonTest, EmptySnapshotIsStillValid) {
+  MetricsRegistry reg;
+  const std::string json = RenderJson(reg.Snapshot());
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("skybench-metrics-v1"), std::string::npos);
+}
+
+TEST(WriteTextFileTest, RoundTripsAndReportsFailure) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_test_snapshot.txt";
+  const std::string content = "hello metrics\n";
+  ASSERT_TRUE(WriteTextFile(path, content));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), content);
+  EXPECT_FALSE(WriteTextFile("/no/such/dir/snapshot.txt", content));
+}
+
+}  // namespace
+}  // namespace sky::obs

@@ -1,0 +1,215 @@
+// Copyright (c) SkyBench-NG contributors.
+// Unit tests for the metrics core (obs/metrics.h): counter/gauge cell
+// merging, histogram `le` bucketing and quantile estimation against a
+// sorted-vector oracle, registry interning semantics (stable pointers,
+// label-order insensitivity, kind-mismatch rejection), snapshot ordering
+// and collector contribution.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sky::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(10.0);
+  g.Add(-2.5);
+  EXPECT_EQ(g.Value(), 7.5);
+  g.Set(1.0);  // Set overwrites, independent of prior Adds
+  EXPECT_EQ(g.Value(), 1.0);
+}
+
+TEST(HistogramTest, LeBucketSemantics) {
+  // Bucket i holds observations <= bounds[i] (Prometheus `le`), the last
+  // bucket is the +inf overflow.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.0);  // boundary value belongs to its own bucket
+  h.Observe(1.5);
+  h.Observe(4.0);
+  h.Observe(5.0);  // overflow
+  const HistogramData d = h.Snapshot();
+  ASSERT_EQ(d.buckets.size(), 4u);
+  EXPECT_EQ(d.buckets[0], 2u);
+  EXPECT_EQ(d.buckets[1], 1u);
+  EXPECT_EQ(d.buckets[2], 1u);
+  EXPECT_EQ(d.buckets[3], 1u);
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_DOUBLE_EQ(d.sum, 12.0);
+}
+
+TEST(HistogramTest, NanObservationsAreDropped) {
+  Histogram h({1.0});
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(0.5);
+  const HistogramData d = h.Snapshot();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_DOUBLE_EQ(d.sum, 0.5);
+}
+
+TEST(HistogramTest, RejectsDegenerateBounds) {
+  EXPECT_THROW(Histogram({}), std::runtime_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               std::runtime_error);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Snapshot().Quantile(0.5), 0.0);
+}
+
+/// Sorted-vector quantile oracle matching the histogram's rank rule: the
+/// value at cumulative rank ceil(q * n).
+double OracleQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double target = q * static_cast<double>(values.size());
+  size_t rank = static_cast<size_t>(std::ceil(target));
+  rank = std::min(std::max<size_t>(rank, 1), values.size());
+  return values[rank - 1];
+}
+
+TEST(HistogramTest, QuantileMatchesSortedOracleOnLinearBounds) {
+  // Unit-width buckets over (0, 100): the estimate must land in the same
+  // bucket as the oracle rank, i.e. within one bucket width of the true
+  // order statistic.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(bounds);
+  Rng rng(1234);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(rng.NextDouble() * 100.0);
+    h.Observe(values.back());
+  }
+  const HistogramData d = h.Snapshot();
+  ASSERT_EQ(d.count, values.size());
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(d.Quantile(q), OracleQuantile(values, q), 1.0 + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileMatchesSortedOracleOnLatencyBounds) {
+  // The default log bounds guarantee at most one bucket ratio (10^0.1)
+  // of relative error anywhere in the serving range.
+  Histogram h(DefaultLatencyBounds());
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    // Log-uniform latencies in [1e-6 s, 1e-1 s].
+    values.push_back(std::pow(10.0, -6.0 + 5.0 * rng.NextDouble()));
+    h.Observe(values.back());
+  }
+  const HistogramData d = h.Snapshot();
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double oracle = OracleQuantile(values, q);
+    const double est = d.Quantile(q);
+    EXPECT_GT(est, oracle / 1.26) << "q=" << q;
+    EXPECT_LT(est, oracle * 1.26) << "q=" << q;
+  }
+}
+
+TEST(RegistryTest, InternsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("sky_test_total");
+  Counter* b = reg.GetCounter("sky_test_total");
+  EXPECT_EQ(a, b);
+  // Labels are sorted at registration: declaration order is irrelevant.
+  Counter* l1 = reg.GetCounter("sky_rpc_total", {{"m", "x"}, {"s", "ok"}});
+  Counter* l2 = reg.GetCounter("sky_rpc_total", {{"s", "ok"}, {"m", "x"}});
+  EXPECT_EQ(l1, l2);
+  EXPECT_NE(a, l1);
+  Counter* l3 = reg.GetCounter("sky_rpc_total", {{"m", "y"}, {"s", "ok"}});
+  EXPECT_NE(l1, l3);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.GetCounter("sky_thing");
+  EXPECT_THROW(reg.GetGauge("sky_thing"), std::runtime_error);
+  EXPECT_THROW(reg.GetHistogram("sky_thing"), std::runtime_error);
+  // Same name under different labels is a different metric: allowed.
+  EXPECT_NE(reg.GetCounter("sky_thing", {{"k", "v"}}), nullptr);
+}
+
+TEST(RegistryTest, HistogramDefaultsToLatencyBounds) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("sky_latency_seconds");
+  EXPECT_EQ(h->bounds().size(), DefaultLatencyBounds().size());
+  Histogram* custom =
+      reg.GetHistogram("sky_sizes", {}, "", {1.0, 10.0, 100.0});
+  EXPECT_EQ(custom->bounds().size(), 3u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry reg;
+  reg.GetCounter("sky_zzz_total")->Add(7);
+  reg.GetCounter("sky_aaa_total")->Add(3);
+  reg.GetGauge("sky_mid_gauge")->Set(1.5);
+  reg.GetCounter("sky_rpc_total", {{"m", "b"}})->Add(2);
+  reg.GetCounter("sky_rpc_total", {{"m", "a"}})->Add(1);
+  reg.GetHistogram("sky_lat_seconds", {}, "", {1.0})->Observe(0.5);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 6u);
+  for (size_t i = 1; i < snap.metrics.size(); ++i) {
+    const MetricValue& prev = snap.metrics[i - 1];
+    const MetricValue& cur = snap.metrics[i];
+    EXPECT_TRUE(prev.name < cur.name ||
+                (prev.name == cur.name && prev.labels < cur.labels));
+  }
+  EXPECT_EQ(snap.Value("sky_zzz_total"), 7.0);
+  EXPECT_EQ(snap.Value("sky_rpc_total", {{"m", "a"}}), 1.0);
+  EXPECT_EQ(snap.Value("sky_rpc_total", {{"m", "b"}}), 2.0);
+  EXPECT_EQ(snap.Value("sky_no_such_metric"), 0.0);
+  const MetricValue* hist = snap.Find("sky_lat_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist->histogram.count, 1u);
+}
+
+TEST(RegistryTest, CollectorsContributeAtSnapshotTime) {
+  MetricsRegistry reg;
+  reg.GetCounter("sky_native_total")->Add(1);
+  int calls = 0;
+  reg.AddCollector([&calls](std::vector<MetricValue>& out) {
+    ++calls;
+    MetricValue v;
+    v.name = "sky_collected_entries";
+    v.kind = MetricKind::kGauge;
+    v.value = 12.0;
+    out.push_back(std::move(v));
+  });
+  const MetricsSnapshot s1 = reg.Snapshot();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s1.Value("sky_collected_entries"), 12.0);
+  // Collected values sort into the same ordered view as native metrics.
+  const MetricsSnapshot s2 = reg.Snapshot();
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(s2.metrics.size(), 2u);
+  EXPECT_EQ(s2.metrics[0].name, "sky_collected_entries");
+  EXPECT_EQ(s2.metrics[1].name, "sky_native_total");
+}
+
+}  // namespace
+}  // namespace sky::obs

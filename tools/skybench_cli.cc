@@ -29,6 +29,7 @@
 #include "data/generator.h"
 #include "data/realistic.h"
 #include "dominance/dominance.h"
+#include "obs/export.h"
 #include "query/engine.h"
 #include "query/shard_map.h"
 
@@ -61,11 +62,15 @@ struct CliArgs {
   std::string shard_policy = "rr";  // rr|median
   std::string insert_csv;  // rows to InsertPoints after registration
   std::string delete_ids;  // ids to DeletePoints after registration
+  bool trace = false;      // print the per-query span tree
+  std::string stats_json;  // write the engine metrics snapshot as JSON
+  std::string stats_prom;  // write it as Prometheus text exposition
 
   bool UsesQueryEngine() const {
     return !minmax.empty() || !project.empty() || !constrain.empty() ||
            kband != 1 || topk != 0 || shards > 1 || !insert_csv.empty() ||
-           !delete_ids.empty();
+           !delete_ids.empty() || trace || !stats_json.empty() ||
+           !stats_prom.empty();
   }
 };
 
@@ -113,6 +118,11 @@ struct CliArgs {
       "                   new rows take ids N, N+1, ...\n"
       "  --delete-ids=L   after load (and any insert), delete these row\n"
       "                   ids, e.g. 3,17,42; surviving ids compact down\n"
+      "observability:\n"
+      "  --trace          print each query's span tree (plan, per-shard\n"
+      "                   execute, merge, cache put) after the result line\n"
+      "  --stats-json=P   write the engine metrics snapshot to P as JSON\n"
+      "  --stats-prom=P   write it to P as Prometheus text exposition\n"
       "  --version        print build identity and exit\n"
       "  --help           print this message and exit\n");
   std::exit(exit_code);
@@ -195,6 +205,9 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--shard-policy", &v) && v) a.shard_policy = v;
     else if (Flag(argv[i], "--insert-csv", &v) && v) a.insert_csv = v;
     else if (Flag(argv[i], "--delete-ids", &v) && v) a.delete_ids = v;
+    else if (Flag(argv[i], "--trace", &v)) a.trace = true;
+    else if (Flag(argv[i], "--stats-json", &v) && v) a.stats_json = v;
+    else if (Flag(argv[i], "--stats-prom", &v) && v) a.stats_prom = v;
     else if (Flag(argv[i], "--no-simd", &v)) a.no_simd = true;
     else if (Flag(argv[i], "--no-batch", &v)) a.no_batch = true;
     else if (Flag(argv[i], "--stats", &v)) a.stats = true;
@@ -231,6 +244,7 @@ Options BuildOptions(const CliArgs& a, Algorithm algo) {
   o.use_simd = !a.no_simd;
   o.use_batch = !a.no_batch;
   o.count_dts = true;
+  o.trace = a.trace;
   o.seed = a.seed;
   return o;
 }
@@ -312,6 +326,9 @@ void RunQueryOne(SkylineEngine& engine, const Dataset& data, Algorithm algo,
       std::printf(" %s", AlgorithmName(chosen));
     }
     std::printf("\n");
+  }
+  if (a.trace && r.trace != nullptr) {
+    std::printf("%s", r.trace->Render().c_str());
   }
   if (a.stats) std::printf("  %s\n", r.stats.ToString().c_str());
   if (a.verify) {
@@ -405,6 +422,20 @@ int main(int argc, char** argv) try {
       // In --algo=all sweeps each algorithm should compute, not replay the
       // previous algorithm's cached answer.
       if (algos.size() > 1) engine.ClearCache();
+    }
+    if (!args.stats_json.empty() || !args.stats_prom.empty()) {
+      const sky::obs::MetricsSnapshot snap = engine.Metrics().Snapshot();
+      if (!args.stats_json.empty()) {
+        sky::obs::WriteTextFile(args.stats_json, sky::obs::RenderJson(snap));
+        std::printf("wrote metrics snapshot (json) to %s\n",
+                    args.stats_json.c_str());
+      }
+      if (!args.stats_prom.empty()) {
+        sky::obs::WriteTextFile(args.stats_prom,
+                                sky::obs::RenderPrometheus(snap));
+        std::printf("wrote metrics snapshot (prometheus) to %s\n",
+                    args.stats_prom.c_str());
+      }
     }
   } else {
     for (const sky::Algorithm algo : algos) sky::RunOne(data, algo, args);
