@@ -1,0 +1,145 @@
+// Copyright (c) SkyBench-NG contributors.
+// Zonemap ablation: what does the block index buy, and where? Three views
+// over the same workloads:
+//   1. traversal accounting — per distribution, how many blocks the BBS
+//      run visits vs prunes (min-corner dominance) vs skips (box-disjoint
+//      AABB), for a full skyline and a 1% constraint box, plus the
+//      one-time Z-order build cost the cached index amortises away;
+//   2. engine serving — the constrained query through the cached index
+//      (--algo=zonemap) against the materialize-view sequential-scan
+//      baseline (SSkyline) and the strongest tree baseline (BSkyTree);
+//   3. auto-selection — the cost model's pick for the constrained cell
+//      with and without the zonemap_direct gate, showing the index only
+//      becomes a candidate when the engine can actually serve it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/zonemap_skyline.h"
+#include "data/sketch.h"
+#include "index/zonemap.h"
+#include "query/cost_model.h"
+#include "query/engine.h"
+
+namespace sky {
+namespace {
+
+constexpr float kBoxLo = 0.10f;
+constexpr float kBoxHi = 0.11f;  // ~1% selectivity on a uniform dimension
+
+/// Steady-state engine serving: the result cache is off and every repeat
+/// uses a distinct 1% box, so each Execute plans and computes while the
+/// zonemap cache (when the algorithm uses it) stays warm.
+double MedianEngineSeconds(const Dataset& data, Algorithm algo, int repeats) {
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 0;
+  SkylineEngine engine(config);
+  engine.RegisterDataset("ds", data.Clone());
+  Options opts;
+  opts.algorithm = algo;
+  opts.threads = 1;
+  QuerySpec warm;
+  warm.Constrain(0, 0.05f, 0.06f);
+  engine.Execute("ds", warm, opts);  // pays the one-time index build
+  std::vector<double> times;
+  const int reps = std::max(repeats, 3);
+  for (int rep = 0; rep < reps; ++rep) {
+    QuerySpec q;
+    const float lo = kBoxLo + 0.01f * static_cast<float>(rep);
+    q.Constrain(0, lo, lo + (kBoxHi - kBoxLo));
+    WallTimer t;
+    engine.Execute("ds", q, opts);
+    times.push_back(t.Seconds());
+  }
+  return Median(std::move(times));
+}
+
+void Run(const BenchConfig& cfg) {
+  const size_t n =
+      cfg.n_override ? cfg.n_override : (cfg.full ? 1'000'000 : 100'000);
+  const int d = cfg.d_override ? cfg.d_override : 8;
+  std::printf("== Ablation: zonemap block index (n=%zu, d=%d) ==\n", n, d);
+
+  Options direct;
+  direct.threads = 1;
+  const std::vector<DimConstraint> box{{0, kBoxLo, kBoxHi}};
+
+  Table accounting({"distribution", "build (s)", "shape", "time (s)",
+                    "visited", "pruned", "skipped", "|sky|"});
+  Table serving({"distribution", "zonemap (s)", "scan (s)", "bskytree (s)",
+                 "vs scan"});
+  for (const Distribution dist : AllDistributions()) {
+    WorkloadSpec wspec{dist, n, d, cfg.seed};
+    const Dataset& data = WorkloadCache::Instance().Get(wspec);
+    const StatsSketch sketch = ComputeSketch(data);
+    WallTimer build_timer;
+    const ZoneMapIndex index = ZoneMapIndex::Build(data, 0, &sketch);
+    const double build_s = build_timer.Seconds();
+    struct Shape {
+      const char* name;
+      std::span<const DimConstraint> constraints;
+    };
+    for (const Shape& shape :
+         {Shape{"uncon", {}}, Shape{"con", std::span(box)}}) {
+      std::vector<double> times;
+      ZonemapRunResult run;
+      for (int rep = 0; rep < std::max(cfg.repeats, 3); ++rep) {
+        WallTimer t;
+        run = ZonemapSkylineRun(data, index, shape.constraints, direct);
+        times.push_back(t.Seconds());
+      }
+      accounting.AddRow(
+          {DistributionName(dist), Table::Num(build_s), shape.name,
+           Table::Num(Median(std::move(times))),
+           std::to_string(run.blocks_visited),
+           std::to_string(run.blocks_pruned),
+           std::to_string(run.blocks_box_skipped),
+           std::to_string(run.skyline.size())});
+    }
+
+    const double zm = MedianEngineSeconds(data, Algorithm::kZonemap,
+                                          cfg.repeats);
+    const double scan = MedianEngineSeconds(data, Algorithm::kSSkyline,
+                                            cfg.repeats);
+    const double tree = MedianEngineSeconds(data, Algorithm::kBSkyTree,
+                                            cfg.repeats);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", scan / zm);
+    serving.AddRow({DistributionName(dist), Table::Num(zm), Table::Num(scan),
+                    Table::Num(tree), speedup});
+
+    // The cost model's view of this cell: zonemap only competes when the
+    // query engine reports it can serve the box straight off the index.
+    SelectionContext ctx;
+    ctx.threads = 1;
+    ctx.selectivity = 0.01;
+    const Algorithm off = ChooseAlgorithm(sketch, ctx).algorithm;
+    ctx.zonemap_direct = true;
+    const Algorithm on = ChooseAlgorithm(sketch, ctx).algorithm;
+    std::printf("auto pick (%s, 1%% box): gate off -> %s, gate on -> %s\n",
+                DistributionName(dist), AlgorithmName(off),
+                AlgorithmName(on));
+    WorkloadCache::Instance().Clear();
+  }
+  std::printf("\n-- BBS traversal accounting --\n");
+  Emit(accounting, cfg);
+  std::printf("\n-- engine serving, 1%% box (steady state, cached index) "
+              "--\n");
+  Emit(serving, cfg);
+  std::printf(
+      "\nExpected shape: unconstrained runs prune most blocks by min-corner "
+      "dominance on correlated/independent data and degrade to visiting "
+      "them on anticorrelated data; the 1%% box flips the win to AABB "
+      "skips, where the clustered index beats the scan baseline by the "
+      "build cost's amortised margin.\n");
+}
+
+}  // namespace
+}  // namespace sky
+
+int main(int argc, char** argv) {
+  sky::Run(sky::BenchConfig::Parse(argc, argv));
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "baselines/sskyline.h"
 #include "core/hybrid.h"
 #include "core/qflow.h"
+#include "core/zonemap_skyline.h"
 
 namespace sky {
 namespace {
@@ -97,6 +98,16 @@ constexpr AlgorithmDescriptor kTable[] = {
     {Algorithm::kPBSkyTree, "PBSkyTree", "pbskytree", &PBSkyTreeCompute,
      true, false, false, false,
      {25'000, 80'000, 12, 0.40, 1.18, 0.3, 0.90}},
+    // Zonemap is the only candidate whose cost depends on data layout
+    // (blocks pruned), which the static model cannot see. ChooseAlgorithm
+    // therefore only considers it when SelectionContext::zonemap_direct
+    // says the engine would run it on raw rows against a constraint box —
+    // exactly where its sub-shard AABB pruning pays — and charges every
+    // other candidate the view materialization the direct path skips.
+    // per_point covers the rank-sum cut when the index must be built.
+    {Algorithm::kZonemap, "Zonemap", "zonemap", &ZonemapSkylineCompute,
+     false, true, false, true,
+     {4'000, 0, 7, 0.20, 1.12, 0.05, 0.0}},
 };
 
 }  // namespace

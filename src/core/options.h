@@ -34,6 +34,8 @@ enum class Algorithm : uint8_t {
   kBSkyTreeS,  ///< BSkyTree-S: one pivot, no recursion/tree [Lee/Hwang 2014]
   kOsp,        ///< OSP: recursive partitioning, random pivot [Zhang 2009]
   kPBSkyTree,  ///< paper Appendix A: parallelized BSkyTree
+  kZonemap,    ///< BBS-style best-first traversal over the block zonemap
+               ///< index (index/zonemap.h, core/zonemap_skyline.h)
   kAuto,       ///< cost-model selection from the dataset/shard sketch
                ///< (query/cost_model.h); resolved before dispatch
 };
@@ -92,6 +94,10 @@ struct Options {
 
   /// Seed for randomized choices (kRandom pivot).
   uint64_t seed = 42;
+
+  /// Rows per zonemap block for Algorithm::kZonemap (index/zonemap.h).
+  /// 0 = ZoneMapIndex::kDefaultBlockRows. Other algorithms ignore it.
+  size_t block_rows = 0;
 
   /// Optional progressive result callback. Honored by the algorithms
   /// whose registry descriptor sets `progressive` (Q-Flow, Hybrid,

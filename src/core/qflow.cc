@@ -19,15 +19,12 @@ namespace {
 /// the highly skewed per-point cost (dominated points abort their scan
 /// almost immediately), large enough to amortise the claim.
 constexpr size_t kPhaseGrain = 16;
-
-/// Minimum global-skyline size before Phase I switches from the
-/// one-vs-one scan to the batched tile filter, and minimum Phase II
-/// prefix length per candidate. Below these the window fits a few tiles
-/// and per-point early exit (the first dominators are L1-strong and sit
-/// at the front) beats paying for 8 lanes per compare.
-constexpr size_t kBatchWindowMin = 256;
-constexpr size_t kBatchPrefixMin = 64;
 }  // namespace
+
+// Phase I batches only past kBatchWindowMin window points and Phase II
+// past kBatchPrefixMin peers (dominance/batch.h): below these the window
+// fits a few tiles and per-point early exit (the first dominators are
+// L1-strong and sit at the front) beats paying for 8 lanes per compare.
 
 Result QFlowCompute(const Dataset& data, const Options& opts) {
   Result res;

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "data/sorting.h"
 #include "data/working_set.h"
+#include "dominance/batch.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
 
@@ -35,7 +36,7 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
 
   WallTimer total;
   ThreadPool pool(opts.ResolvedThreads());
-  DomCtx dom(data.dims(), data.stride(), opts.use_simd);
+  DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
 
   WorkingSet ws = WorkingSet::FromDataset(data, pool);
   WallTimer phase;
@@ -58,6 +59,18 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
   std::vector<uint8_t> flags(std::min(alpha, ws.count));
   std::vector<uint32_t> counts(std::min(alpha, ws.count));
 
+  // SoA mirrors for the batched counting kernel: `band_tiles` shadows the
+  // confirmed band (appended as members confirm), `block_tiles` is rebuilt
+  // per block over the Phase II survivors. Capped counting keeps the exact
+  // classification: CountDominators is exact below cap and any count >= k
+  // flags identically.
+  TileBlock band_tiles;
+  TileBlock block_tiles;
+  if (dom.batch()) {
+    band_tiles.Reset(data.dims(), ws.count);
+    block_tiles.Reset(data.dims(), std::min(alpha, ws.count));
+  }
+
   for (size_t b = 0; b < ws.count; b += alpha) {
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
@@ -67,12 +80,18 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
     // Phase I: count dominators among confirmed band members, stopping
     // as soon as k is reached.
     phase.Restart();
+    const bool batch1 = dom.batch() && band_count >= kBatchWindowMin;
     pool.ParallelFor(blen, 16, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         const Value* q = ws.Row(b + i);
         uint32_t c = 0;
-        for (size_t s = 0; s < band_count && c < k; ++s) {
-          c += dom.Dominates(band_row(s), q);
+        if (batch1) {
+          c = std::min(
+              dom.CountDominators(q, band_tiles, band_count, k, nullptr), k);
+        } else {
+          for (size_t s = 0; s < band_count && c < k; ++s) {
+            c += dom.Dominates(band_row(s), q);
+          }
         }
         counts[i] = c;
         if (c >= k) flags[i] = 1;
@@ -95,12 +114,24 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
     // dominating peer counts whether or not it is itself flagged (its
     // own >= k dominators also dominate us).
     std::fill_n(flags.begin(), survivors, uint8_t{0});
+    if (dom.batch() && survivors > kBatchPrefixMin) {
+      block_tiles.Clear();
+      block_tiles.AppendRows(ws.Row(b), ws.stride, survivors);
+    }
     pool.ParallelFor(survivors, 16, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         const Value* q = ws.Row(b + i);
         uint32_t c = counts[i];
-        for (size_t j = 0; j < i && c < k; ++j) {
-          c += dom.Dominates(ws.Row(b + j), q);
+        if (dom.batch() && i >= kBatchPrefixMin) {
+          if (c < k) {
+            c = std::min(
+                c + dom.CountDominators(q, block_tiles, i, k - c, nullptr),
+                k);
+          }
+        } else {
+          for (size_t j = 0; j < i && c < k; ++j) {
+            c += dom.Dominates(ws.Row(b + j), q);
+          }
         }
         counts[i] = c;
         if (c >= k) flags[i] = 1;
@@ -111,6 +142,7 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
     for (size_t i = 0; i < survivors; ++i) {
       if (flags[i]) continue;
       std::memcpy(band_row(band_count), ws.Row(b + i), row_bytes);
+      if (dom.batch()) band_tiles.PushRow(ws.Row(b + i));
       band_ids.push_back(ws.ids[b + i]);
       band_counts.push_back(counts[i]);
       ++band_count;

@@ -119,6 +119,40 @@ bool DominatedByAnyScalarImpl(const Value* q, const TileBlock& tiles,
   return dominated;
 }
 
+bool DominatedInRangeScalarImpl(const Value* q, const TileBlock& tiles,
+                                int dims, size_t from, uint64_t* dts) {
+  uint64_t tested = 0;
+  bool dominated = false;
+  for (size_t t = from / kSimdWidth; t < tiles.tile_count() && !dominated;
+       ++t) {
+    uint32_t lanes = tiles.ValidLanes(t);
+    if (t * kSimdWidth < from) {
+      lanes &= ~LaneMaskFirst(from - t * kSimdWidth);
+    }
+    if (lanes == 0) continue;
+    tested += std::popcount(lanes);
+    dominated = TileDominatesScalar(q, tiles.Tile(t), dims, lanes) != 0;
+  }
+  if (dts != nullptr) *dts += tested;
+  return dominated;
+}
+
+uint32_t CountDominatorsScalarImpl(const Value* q, const TileBlock& tiles,
+                                   int dims, size_t limit, uint32_t cap,
+                                   uint64_t* dts) {
+  const size_t n = std::min(limit, tiles.size());
+  uint64_t tested = 0;
+  uint32_t count = 0;
+  for (size_t t = 0; t * kSimdWidth < n && count < cap; ++t) {
+    const size_t lanes = std::min<size_t>(kSimdWidth, n - t * kSimdWidth);
+    tested += lanes;
+    count += std::popcount(TileDominatesScalar(q, tiles.Tile(t), dims,
+                                               LaneMaskFirst(lanes)));
+  }
+  if (dts != nullptr) *dts += tested;
+  return count;
+}
+
 size_t FilterTileScalarImpl(const Value* rows, int stride, size_t n,
                             const TileBlock& tiles, int dims,
                             uint8_t* flags, uint64_t* dts) {
@@ -156,6 +190,22 @@ bool DomCtx::DominatedByAny(const Value* q, const TileBlock& tiles,
                             size_t limit, uint64_t* dts) const {
   return simd_ ? DominatedByAnyAvx2(q, tiles, limit, dts)
                : DominatedByAnyScalarImpl(q, tiles, d_, limit, dts);
+}
+
+bool DomCtx::DominatedInRange(const Value* q, const TileBlock& tiles,
+                              size_t from, uint64_t* dts) const {
+  if (from >= tiles.size()) return false;
+  if (from == 0) return DominatedByAny(q, tiles, tiles.size(), dts);
+  return simd_ ? DominatedInRangeAvx2(q, tiles, from, dts)
+               : DominatedInRangeScalarImpl(q, tiles, d_, from, dts);
+}
+
+uint32_t DomCtx::CountDominators(const Value* q, const TileBlock& tiles,
+                                 size_t limit, uint32_t cap,
+                                 uint64_t* dts) const {
+  if (cap == 0 || tiles.empty()) return 0;
+  return simd_ ? CountDominatorsAvx2(q, tiles, limit, cap, dts)
+               : CountDominatorsScalarImpl(q, tiles, d_, limit, cap, dts);
 }
 
 size_t DomCtx::FilterTile(const Value* rows, size_t n,

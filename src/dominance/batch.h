@@ -34,6 +34,15 @@ inline constexpr uint32_t kFullLaneMask = (1u << kSimdWidth) - 1;
 /// Half a typical 32 KiB L1d, so candidate rows and flags fit alongside.
 inline constexpr size_t kWindowChunkBytes = 16 * 1024;
 
+/// Minimum shared-window size before the batched tile scans beat the
+/// one-vs-one kernels — below it the broadcast/tiling overhead dominates.
+/// Shared by Q-Flow's window scan and ComputeSkyband's band count.
+inline constexpr size_t kBatchWindowMin = 256;
+
+/// Minimum in-block prefix before the peer scans (Q-Flow Phase II,
+/// ComputeSkyband Phase II) switch to the tile kernels.
+inline constexpr size_t kBatchPrefixMin = 64;
+
 /// Bit mask of the first `lanes` lanes (lanes <= kSimdWidth).
 SKY_ALWAYS_INLINE uint32_t LaneMaskFirst(size_t lanes) {
   return (lanes >= kSimdWidth) ? kFullLaneMask
@@ -141,12 +150,30 @@ uint32_t MaskComparableLanesAvx2(const Mask* masks8, Mask m);
 bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
                         size_t limit, uint64_t* dts);
 
+/// True iff some tile point in [from, tiles.size()) strictly dominates q —
+/// the suffix complement of DominatedByAnyAvx2's prefix limit, for callers
+/// that already checked q against an earlier prefix of an append-only
+/// window. Adds per-lane tests to *dts (non-null).
+bool DominatedInRangeAvx2(const Value* q, const TileBlock& tiles,
+                          size_t from, uint64_t* dts);
+
 /// Flag every AoS candidate row (stride floats apart) dominated by some
 /// tile point; cache-blocked over the window. Pre-flagged rows are
 /// skipped. Returns the number newly flagged; adds tests to *dts.
 size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
                       const TileBlock& tiles, uint8_t* flags,
                       uint64_t* dts);
+
+/// Number of points among the first min(limit, tiles.size()) tile points
+/// that strictly dominate q, early-outing at tile granularity once the
+/// running count reaches `cap`: the return value is exact when below
+/// `cap` and merely >= cap otherwise (the last tile's full popcount is
+/// included, so it may overshoot by up to kSimdWidth-1). This is the
+/// dominator-counting core of the batched k-skyband paths, where `cap`
+/// is band_k and any count >= band_k disqualifies identically. Adds
+/// per-lane tests to *dts (non-null).
+uint32_t CountDominatorsAvx2(const Value* q, const TileBlock& tiles,
+                             size_t limit, uint32_t cap, uint64_t* dts);
 
 /// Tail-safe 8-mask load: when fewer than kSimdWidth masks remain
 /// readable at `src`, copies the `avail` real ones into `tmp` (filling

@@ -143,6 +143,20 @@ class DomCtx {
   bool DominatedByAny(const Value* q, const TileBlock& tiles, size_t limit,
                       uint64_t* dts) const;
 
+  /// True iff some tile point in [from, tiles.size()) strictly dominates
+  /// q — the suffix complement of DominatedByAny's prefix limit, for
+  /// callers that already checked q against an earlier prefix of an
+  /// append-only window.
+  bool DominatedInRange(const Value* q, const TileBlock& tiles, size_t from,
+                        uint64_t* dts) const;
+
+  /// Number of points among the first min(limit, tiles.size()) tile
+  /// points that strictly dominate q, early-outing once the count reaches
+  /// `cap` — exact below cap, >= cap otherwise (k-skyband counting:
+  /// cap = band_k, where any count >= band_k disqualifies identically).
+  uint32_t CountDominators(const Value* q, const TileBlock& tiles,
+                           size_t limit, uint32_t cap, uint64_t* dts) const;
+
   /// Many-vs-many: flag every candidate row i in [0, n) (AoS rows of this
   /// context's stride) dominated by some tile point. The window is walked
   /// in L1-sized chunks, each replayed against all surviving candidates

@@ -186,6 +186,52 @@ bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
   return dominated;
 }
 
+bool DominatedInRangeAvx2(const Value* q, const TileBlock& tiles,
+                          size_t from, uint64_t* dts) {
+  const size_t n = tiles.size();
+  if (from >= n) return false;
+  const int dims = tiles.dims();
+  const BroadcastQ qb(q, dims);
+  uint64_t tested = 0;
+  bool dominated = false;
+  const size_t ntiles = tiles.tile_count();
+  for (size_t t = from / kSimdWidth; t < ntiles && !dominated; ++t) {
+    uint32_t lanes = tiles.ValidLanes(t);
+    if (t * kSimdWidth < from) {
+      lanes &= ~LaneMaskFirst(from - t * kSimdWidth);
+    }
+    if (lanes == 0) continue;
+    tested += std::popcount(lanes);
+    dominated = TileVsBroadcast(qb, tiles.Tile(t), dims, lanes) != 0;
+  }
+  if (dts != nullptr) *dts += tested;
+  return dominated;
+}
+
+uint32_t CountDominatorsAvx2(const Value* q, const TileBlock& tiles,
+                             size_t limit, uint32_t cap, uint64_t* dts) {
+  const size_t n = limit < tiles.size() ? limit : tiles.size();
+  if (n == 0 || cap == 0) return 0;
+  const int dims = tiles.dims();
+  const BroadcastQ qb(q, dims);
+  uint64_t tested = 0;
+  uint32_t count = 0;
+  const size_t full = n / kSimdWidth;
+  const size_t tail = n % kSimdWidth;
+  for (size_t t = 0; t < full && count < cap; ++t) {
+    tested += kSimdWidth;
+    count += std::popcount(
+        TileVsBroadcast(qb, tiles.Tile(t), dims, kFullLaneMask));
+  }
+  if (count < cap && tail != 0) {
+    tested += tail;
+    count += std::popcount(
+        TileVsBroadcast(qb, tiles.Tile(full), dims, LaneMaskFirst(tail)));
+  }
+  if (dts != nullptr) *dts += tested;
+  return count;
+}
+
 size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
                       const TileBlock& tiles, uint8_t* flags,
                       uint64_t* dts) {
@@ -258,6 +304,24 @@ bool DominatedByAnyAvx2(const Value* q, const TileBlock& tiles,
   if (dts != nullptr) *dts += tested;
   return dominated;
 }
+bool DominatedInRangeAvx2(const Value* q, const TileBlock& tiles,
+                          size_t from, uint64_t* dts) {
+  uint64_t tested = 0;
+  bool dominated = false;
+  for (size_t t = from / kSimdWidth; t < tiles.tile_count() && !dominated;
+       ++t) {
+    uint32_t lanes = tiles.ValidLanes(t);
+    if (t * kSimdWidth < from) {
+      lanes &= ~LaneMaskFirst(from - t * kSimdWidth);
+    }
+    if (lanes == 0) continue;
+    tested += std::popcount(lanes);
+    dominated =
+        TileDominatesScalar(q, tiles.Tile(t), tiles.dims(), lanes) != 0;
+  }
+  if (dts != nullptr) *dts += tested;
+  return dominated;
+}
 size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
                       const TileBlock& tiles, uint8_t* flags,
                       uint64_t* dts) {
@@ -271,6 +335,20 @@ size_t FilterTileAvx2(const Value* rows, int stride, size_t n,
     }
   }
   return flagged;
+}
+uint32_t CountDominatorsAvx2(const Value* q, const TileBlock& tiles,
+                             size_t limit, uint32_t cap, uint64_t* dts) {
+  const size_t n = limit < tiles.size() ? limit : tiles.size();
+  uint64_t tested = 0;
+  uint32_t count = 0;
+  for (size_t t = 0; t * kSimdWidth < n && count < cap; ++t) {
+    const size_t lanes = std::min<size_t>(kSimdWidth, n - t * kSimdWidth);
+    tested += lanes;
+    count += std::popcount(TileDominatesScalar(q, tiles.Tile(t), tiles.dims(),
+                                               LaneMaskFirst(lanes)));
+  }
+  if (dts != nullptr) *dts += tested;
+  return count;
 }
 
 #endif  // SKY_HAVE_AVX2

@@ -34,6 +34,18 @@ double Cost(const AlgorithmDescriptor& desc, double n_eff, int d,
          (1.0 - pf) * work + pf * work / t;
 }
 
+/// Per-coordinate surcharges of the zonemap_direct comparison
+/// (SelectionContext::zonemap_direct). A constrained spec normally pays a
+/// full-dataset view materialization (copy + box test per row) before any
+/// algorithm runs; the zonemap direct path replaces that with AABB
+/// pruning plus a row scan over the boxes that survive it. The model
+/// charges materialization to every ordinary candidate and a cheaper
+/// whole-dataset scan bound to zonemap — pessimistic for zonemap (it
+/// skips disjoint blocks without touching rows), so the pick only flips
+/// where the win is structural.
+constexpr double kViewMaterializeNs = 1.2;
+constexpr double kZonemapBoxScanNs = 0.25;
+
 struct Effective {
   double n = 1.0;
   double m = 1.0;
@@ -53,6 +65,34 @@ Effective EffectiveSizes(const StatsSketch& sketch,
 
 }  // namespace
 
+double CostLearner::Scale(Algorithm algo) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cells_[static_cast<size_t>(algo)].scale;
+}
+
+void CostLearner::Record(Algorithm algo, double predicted_cost,
+                         double measured_seconds) {
+  const double measured_ns = measured_seconds * 1e9;
+  const double ratio = std::clamp(
+      measured_ns / std::max(predicted_cost, 1.0), 0.01, 100.0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[static_cast<size_t>(algo)];
+  cell.scale = cell.observations == 0
+                   ? ratio
+                   : (1.0 - kBlend) * cell.scale + kBlend * ratio;
+  ++cell.observations;
+}
+
+uint64_t CostLearner::Observations(Algorithm algo) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cells_[static_cast<size_t>(algo)].observations;
+}
+
+void CostLearner::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cells_.fill(Cell{});
+}
+
 double EstimateAlgorithmCost(Algorithm algorithm, const StatsSketch& sketch,
                              const SelectionContext& ctx) {
   const Effective e = EffectiveSizes(sketch, ctx);
@@ -69,13 +109,27 @@ AlgorithmChoice ChooseAlgorithm(const StatsSketch& sketch,
   bool first = true;
   for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
     if (!desc.auto_candidate) continue;
+    // Zonemap competes only where the engine would run it directly on raw
+    // rows against a constraint box (see SelectionContext::zonemap_direct).
+    if (desc.algorithm == Algorithm::kZonemap && !ctx.zonemap_direct) {
+      continue;
+    }
     // k-skybands run ComputeSkyband, which reuses Q-Flow's block flow
     // whatever Options.algorithm says — restrict to capable algorithms
     // so the reported choice matches what actually executes.
     if (ctx.band_k > 1 && !desc.skyband) continue;
     // A progressive caller must get an algorithm that streams.
     if (ctx.progressive && !desc.progressive) continue;
-    const double cost = Cost(desc, e.n, sketch.d, e.m, ctx.threads);
+    double cost = Cost(desc, e.n, sketch.d, e.m, ctx.threads);
+    if (ctx.zonemap_direct) {
+      // Direct-path comparison: ordinary candidates first pay the
+      // full-dataset view materialization the zonemap path skips.
+      const double full = static_cast<double>(sketch.n) * sketch.d;
+      cost += desc.algorithm == Algorithm::kZonemap
+                  ? kZonemapBoxScanNs * full
+                  : kViewMaterializeNs * full;
+    }
+    if (ctx.learner != nullptr) cost *= ctx.learner->Scale(desc.algorithm);
     if (first || cost < choice.est_cost) {
       choice.algorithm = desc.algorithm;
       choice.est_cost = cost;

@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "core/skyband.h"
 #include "core/skyline.h"
+#include "core/zonemap_skyline.h"
 #include "dominance/batch.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
@@ -128,6 +129,53 @@ QueryResult RunOnTarget(const Dataset& target,
   return r;
 }
 
+/// Execute stage on raw rows through the zonemap direct path: run the
+/// BBS traversal against the constraint box without materializing a
+/// view (band-1 box-only specs only — raw rows carry the exact view
+/// values there, so dominance and rank scores match the view path
+/// bit-for-bit). `row_map` maps index-local rows to final ids.
+QueryResult RunZonemapDirect(const Dataset& data, const ZoneMapIndex& index,
+                             const std::vector<PointId>* row_map,
+                             const QuerySpec& canon, const Options& opts) {
+  QueryResult r;
+  if (data.count() == 0) return r;
+
+  Options run_opts = opts;
+  if (opts.progressive && row_map != nullptr) {
+    const ProgressiveCallback callback = opts.progressive;
+    run_opts.progressive = [callback, row_map](std::span<const PointId> ids) {
+      std::vector<PointId> mapped(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        mapped[i] = (*row_map)[ids[i]];
+      }
+      callback(mapped);
+    };
+  }
+  ZonemapRunResult run =
+      ZonemapSkylineRun(data, index, canon.constraints, run_opts);
+  r.stats = run.stats;
+  r.matched_rows = run.matched_rows;
+  r.shard_algorithms.assign(1, Algorithm::kZonemap);
+  r.ids.resize(run.skyline.size());
+  if (row_map == nullptr) {
+    std::copy(run.skyline.begin(), run.skyline.end(), r.ids.begin());
+  } else {
+    for (size_t i = 0; i < run.skyline.size(); ++i) {
+      r.ids[i] = (*row_map)[run.skyline[i]];
+    }
+  }
+  r.dominator_counts.assign(r.ids.size(), 0u);
+  if (canon.top_k > 0) {
+    std::vector<Value> scores(run.skyline.size());
+    for (size_t i = 0; i < run.skyline.size(); ++i) {
+      scores[i] = RankScore(data, run.skyline[i]);
+    }
+    RankAndTruncate(r, canon.top_k, scores);
+  }
+  r.stats.skyline_size = r.ids.size();
+  return r;
+}
+
 /// Fold per-phase times and counters of a partial run into `into`,
 /// leaving total_seconds / skyline_size to the caller (the executor
 /// reports true end-to-end wall time, not the sum of parallel shards).
@@ -156,6 +204,8 @@ struct ShardPartial {
   double trace_seconds = 0.0;  // shard wall time
   bool view_built = false;     // view materialized (vs. cache hit)
   bool maintained = false;     // served from the maintained shard skyline
+  bool direct = false;         // ran the zonemap direct path (no view)
+  size_t matched = 0;          // rows in the box, when `direct`
 };
 
 /// Source of per-shard materialized views: the engine passes a lambda
@@ -166,6 +216,13 @@ struct ShardPartial {
 /// cached view — the trace's view=build|hit attribute.
 using ShardViewProvider = std::function<std::shared_ptr<const QueryView>(
     uint32_t shard_index, bool* built)>;
+
+/// Source of per-shard zonemap indexes for the direct path, backed by the
+/// engine's epoch-guarded zonemap cache. Returns nullptr when the caller
+/// should build privately (no cache, or a non-default Options::block_rows
+/// that must not share the fixed cache keys).
+using ZonemapProvider =
+    std::function<std::shared_ptr<const ZoneMapIndex>(uint32_t shard_index)>;
 
 std::shared_ptr<const QueryView> ViewOfShard(
     const ShardMap& map, uint32_t shard_index, const QuerySpec& canon,
@@ -192,6 +249,7 @@ std::shared_ptr<const QueryView> ViewOfShard(
 QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
                                const QuerySpec& canon, const Options& opts,
                                const ShardViewProvider& provider = {},
+                               const ZonemapProvider& zonemap_provider = {},
                                obs::TraceBuilder* tb = nullptr,
                                int trace_parent = -1) {
   WallTimer timer;
@@ -203,10 +261,30 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     return r;
   }
   const bool identity = canon.IsIdentityTransform();
+  // Band-1 box-only specs let Algorithm::kZonemap run on the raw shard
+  // rows (constraint box applied during the traversal), skipping view
+  // materialization entirely.
+  const bool zonemap_direct = canon.band_k == 1 && canon.IsBoxOnlyTransform();
   // Per-shard algorithm: the plan's cost-model picks when the request
   // was kAuto, the caller's explicit choice otherwise.
   const auto algo_of = [&](size_t s) {
     return plan.algorithms.empty() ? opts.algorithm : plan.algorithms[s];
+  };
+  /// Per-shard index for a direct run: the provider's cached entry, or a
+  /// private build (one-shot paths and custom Options::block_rows). The
+  /// private build's cost lands in `build_seconds`.
+  const auto zonemap_of = [&](uint32_t shard_index, double* build_seconds)
+      -> std::shared_ptr<const ZoneMapIndex> {
+    if (zonemap_provider) {
+      std::shared_ptr<const ZoneMapIndex> zm = zonemap_provider(shard_index);
+      if (zm != nullptr) return zm;
+    }
+    WallTimer build_timer;
+    const Shard& shard = map.shard(shard_index);
+    auto zm = std::make_shared<const ZoneMapIndex>(
+        ZoneMapIndex::Build(shard.rows(), opts.block_rows, &shard.sketch));
+    *build_seconds += build_timer.Seconds();
+    return zm;
   };
 
   // Single surviving shard: pruned shards hold no constraint-box row, so
@@ -218,8 +296,17 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     one_opts.algorithm = algo_of(0);
     const double span_start = tb != nullptr ? tb->Now() : 0.0;
     bool view_built = false;
+    const bool direct =
+        zonemap_direct && one_opts.algorithm == Algorithm::kZonemap;
     QueryResult one;
-    if (identity) {
+    if (direct) {
+      double build_seconds = 0.0;
+      const std::shared_ptr<const ZoneMapIndex> zm =
+          zonemap_of(plan.shards[0], &build_seconds);
+      one = RunZonemapDirect(shard.rows(), *zm, &shard.row_ids, canon,
+                             one_opts);
+      one.stats.other_seconds += build_seconds;
+    } else if (identity) {
       one = RunOnTarget(shard.rows(), &shard.row_ids, canon, one_opts);
     } else {
       const std::shared_ptr<const QueryView> view =
@@ -247,7 +334,11 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       if (opts.count_dts) {
         tb->AttrCount(span, "dom_tests", one.stats.dominance_tests);
       }
-      if (!identity) tb->Attr(span, "view", view_built ? "build" : "hit");
+      if (direct) {
+        tb->Attr(span, "view", "direct");
+      } else if (!identity) {
+        tb->Attr(span, "view", view_built ? "build" : "hit");
+      }
     }
     return one;
   }
@@ -278,6 +369,27 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       // the common serving case and the one mutations repair for.
       p.cand_rows = *shard.skyline;
       p.maintained = true;
+      if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
+      return;
+    }
+    if (zonemap_direct && algo_of(s) == Algorithm::kZonemap) {
+      // Direct path: traverse the shard's (cached) zonemap index against
+      // the constraint box on raw rows — no view. The per-shard
+      // progressive suppression above applies unchanged.
+      p.direct = true;
+      if (shard.rows().count() > 0) {
+        double build_seconds = 0.0;
+        const std::shared_ptr<const ZoneMapIndex> zm =
+            zonemap_of(plan.shards[s], &build_seconds);
+        Options one = shard_opts;
+        one.algorithm = Algorithm::kZonemap;
+        ZonemapRunResult run =
+            ZonemapSkylineRun(shard.rows(), *zm, canon.constraints, one);
+        p.stats = run.stats;
+        p.stats.other_seconds += build_seconds;
+        p.cand_rows = std::move(run.skyline);
+        p.matched = run.matched_rows;
+      }
       if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
       return;
     }
@@ -324,15 +436,20 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
           tb->AddSpan("shard[" + std::to_string(plan.shards[s]) + "]",
                       trace_parent, p.trace_start, p.trace_seconds);
       tb->Attr(span, "algo", AlgorithmName(algo_of(s)));
-      const Dataset& target =
-          identity ? map.shard(plan.shards[s]).rows() : p.view->data;
-      tb->AttrCount(span, "rows", target.count());
+      const Dataset& target = identity || p.direct
+                                  ? map.shard(plan.shards[s]).rows()
+                                  : p.view->data;
+      tb->AttrCount(span, "rows", p.direct ? p.matched : target.count());
       tb->AttrCount(span, "candidates", p.cand_rows.size());
       if (opts.count_dts) {
         tb->AttrCount(span, "dom_tests", p.stats.dominance_tests);
       }
       if (p.maintained) tb->Attr(span, "maintained", "true");
-      if (!identity) tb->Attr(span, "view", p.view_built ? "build" : "hit");
+      if (p.direct) {
+        tb->Attr(span, "view", "direct");
+      } else if (!identity) {
+        tb->Attr(span, "view", p.view_built ? "build" : "hit");
+      }
     }
   }
 
@@ -342,13 +459,18 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   }
   size_t total = 0;
   for (size_t s = 0; s < n_shards; ++s) {
-    const Dataset& target =
-        identity ? map.shard(plan.shards[s]).rows() : parts[s].view->data;
-    r.matched_rows += target.count();
-    total += parts[s].cand_rows.size();
-    AccumulateStats(r.stats, parts[s].stats);
-    if (!identity && !provider) {
-      r.stats.other_seconds += parts[s].view->materialize_seconds;
+    const ShardPartial& p = parts[s];
+    if (p.direct) {
+      r.matched_rows += p.matched;
+    } else {
+      const Dataset& target =
+          identity ? map.shard(plan.shards[s]).rows() : p.view->data;
+      r.matched_rows += target.count();
+    }
+    total += p.cand_rows.size();
+    AccumulateStats(r.stats, p.stats);
+    if (!identity && !p.direct && !provider) {
+      r.stats.other_seconds += p.view->materialize_seconds;
     }
   }
 
@@ -364,11 +486,14 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   for (size_t s = 0; s < n_shards; ++s) {
     const Shard& shard = map.shard(plan.shards[s]);
     const ShardPartial& p = parts[s];
-    const Dataset& target = identity ? shard.rows() : p.view->data;
+    // Direct partials are rows of the raw shard in shard-local numbering
+    // (box-only specs keep every dimension, so raw rows are view rows).
+    const bool raw = identity || p.direct;
+    const Dataset& target = raw ? shard.rows() : p.view->data;
     for (const PointId row : p.cand_rows) {
       std::memcpy(merged.MutableRow(w), target.Row(row), row_bytes);
       merged_ids[w] =
-          identity ? shard.row_ids[row] : shard.row_ids[p.view->row_ids[row]];
+          raw ? shard.row_ids[row] : shard.row_ids[p.view->row_ids[row]];
       ++w;
     }
   }
@@ -409,6 +534,31 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       }
       opts.progressive(mapped);
     }
+  } else if (total > 0 && canon.band_k > 1 && merge_dom.batch() &&
+             total <= kBatchMergeMaxRows) {
+    // Depth-aware twin of the batch filter above: tile the union once
+    // and count each candidate's dominators with the capped tile kernel.
+    // A count below band_k is exact (and, by the union-merge proof, the
+    // candidate's exact global count); at or above the cap the candidate
+    // is out regardless of the overshoot. Like ComputeSkyband, this path
+    // never streams — partial counts confirm nothing early.
+    TileBlock tiles(view_dims, total);
+    tiles.AppendRows(merged.Row(0), merged.stride(), total);
+    uint64_t dts = 0;
+    members.reserve(total);
+    r.dominator_counts.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      const uint32_t c = merge_dom.CountDominators(
+          merged.Row(i), tiles, total, canon.band_k,
+          opts.count_dts ? &dts : nullptr);
+      if (c < canon.band_k) {
+        members.push_back(static_cast<PointId>(i));
+        r.dominator_counts.push_back(c);
+      }
+    }
+    if (opts.count_dts) r.stats.dominance_tests += dts;
+    merge_dts = dts;
+    merge_path = "batch-count";
   } else if (total > 0) {
     Options merge_opts = opts;
     if (merge_opts.algorithm == Algorithm::kAuto) {
@@ -535,7 +685,8 @@ QueryResult RunShardedQuery(const ShardMap& map, const QuerySpec& spec,
   tb.AttrCount(ps, "shards", plan.shards.size());
   tb.AttrCount(ps, "pruned", plan.pruned);
   tb.Attr(ps, "merge", MergeStrategyName(plan.merge));
-  QueryResult r = ExecuteShardedPlan(map, plan, canon, opts, {}, &tb, root);
+  QueryResult r =
+      ExecuteShardedPlan(map, plan, canon, opts, {}, {}, &tb, root);
   tb.AttrCount(root, "members", r.ids.size());
   tb.Close(root);
   r.trace = tb.Finish();
@@ -623,7 +774,8 @@ SkylineEngine::SkylineEngine(Config config)
              &QueryResultBytes, config.result_cache_ttl),
       view_cache_(config.view_cache_capacity, config.view_cache_bytes,
                   &QueryViewBytes),
-      selectivity_cache_(256) {
+      selectivity_cache_(256),
+      zonemap_cache_(64, 0, &ZoneMapIndexBytes) {
   WireInstruments();
 }
 
@@ -632,6 +784,7 @@ EngineMetricsSnapshot SkylineEngine::MetricsSnapshot() const {
   s.result_cache = cache_.counters();
   s.view_cache = view_cache_.counters();
   s.selectivity_cache = selectivity_cache_.counters();
+  s.zonemap_cache = zonemap_cache_.counters();
   std::shared_lock lock(registry_mu_);
   s.datasets = registry_.size();
   return s;
@@ -716,6 +869,12 @@ void SkylineEngine::WireInstruments() {
   inst_.invalidated_selectivities = metrics_.GetCounter(
       "sky_invalidated_selectivities_total", {},
       "Cached selectivity estimates erased by mutation fixups");
+  inst_.invalidated_zonemaps = metrics_.GetCounter(
+      "sky_invalidated_zonemaps_total", {},
+      "Cached zonemap indexes erased by mutation fixups");
+  inst_.zonemap_repairs = metrics_.GetCounter(
+      "sky_zonemap_repairs_total", {},
+      "Cached zonemap indexes repaired block-locally across a mutation");
   for (size_t a = 0; a < inst_.algorithm.size(); ++a) {
     inst_.algorithm[a] = metrics_.GetCounter(
         "sky_engine_algorithm_total",
@@ -727,6 +886,7 @@ void SkylineEngine::WireInstruments() {
     AppendCacheMetrics("result", s.result_cache, out);
     AppendCacheMetrics("view", s.view_cache, out);
     AppendCacheMetrics("selectivity", s.selectivity_cache, out);
+    AppendCacheMetrics("zonemap", s.zonemap_cache, out);
     obs::MetricValue datasets;
     datasets.name = "sky_datasets";
     datasets.help = "Registered datasets";
@@ -790,6 +950,7 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
     cache_.ErasePrefix(prefix);
     view_cache_.ErasePrefix(prefix);
     selectivity_cache_.ErasePrefix(prefix);
+    zonemap_cache_.ErasePrefix(prefix);
   }
   return version;
 }
@@ -807,6 +968,7 @@ bool SkylineEngine::EvictDataset(const std::string& name) {
   cache_.ErasePrefix(prefix);
   view_cache_.ErasePrefix(prefix);
   selectivity_cache_.ErasePrefix(prefix);
+  zonemap_cache_.ErasePrefix(prefix);
   return true;
 }
 
@@ -928,6 +1090,18 @@ void SkylineEngine::PutSelectivityIfCurrent(
   selectivity_cache_.Put(key, std::move(value));
 }
 
+void SkylineEngine::PutZonemapIfCurrent(
+    const std::string& name, uint64_t version, uint64_t minor,
+    const std::string& key, std::shared_ptr<const ZoneMapIndex> value) {
+  std::shared_lock lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end() || it->second.version != version ||
+      it->second.minor != minor) {
+    return;
+  }
+  zonemap_cache_.Put(key, std::move(value));
+}
+
 std::vector<std::string> SkylineEngine::DatasetNames() const {
   std::shared_lock lock(registry_mu_);
   std::vector<std::string> names;
@@ -1020,6 +1194,9 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     ctx.band_k = canon.band_k;
     ctx.threads = eff.ResolvedThreads();
     ctx.progressive = eff.progressive != nullptr;
+    ctx.zonemap_direct = canon.band_k == 1 && !canon.constraints.empty() &&
+                         canon.IsBoxOnlyTransform();
+    ctx.learner = config_.cost_learning ? &learner_ : nullptr;
     ctx.selectivity = 1.0;
     if (!canon.constraints.empty()) {
       const std::string sel_key = prefix + "sel|" + canon.ViewKey();
@@ -1073,10 +1250,36 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       if (built_out != nullptr) *built_out = rebuild;
       return view;
     };
+    // Per-shard zonemap indexes for the direct path, cached next to the
+    // shard views under fixed keys (so mutations can repair them) and
+    // epoch-guarded the same way. Custom Options::block_rows bypasses the
+    // cache entirely — the executor builds privately.
+    const ZonemapProvider zonemap_provider =
+        [&](uint32_t shard_index) -> std::shared_ptr<const ZoneMapIndex> {
+      if (eff.block_rows != 0 &&
+          eff.block_rows != ZoneMapIndex::kDefaultBlockRows) {
+        return nullptr;
+      }
+      const std::string zm_key =
+          prefix + "zm|s" + std::to_string(shard_index);
+      const Shard& shard = shards->shard(shard_index);
+      std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+      if (zm == nullptr || zm->source_epoch != shard.epoch) {
+        ZoneMapIndex built =
+            ZoneMapIndex::Build(shard.rows(), /*block_rows=*/0, &shard.sketch);
+        built.source_epoch = shard.epoch;
+        built.source_shard = static_cast<int>(shard_index);
+        auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
+        PutZonemapIfCurrent(name, version, minor, zm_key, holder);
+        zm = std::move(holder);
+      }
+      return zm;
+    };
     int plan_span = -1;
     if (tb != nullptr) plan_span = tb->Open("plan", root);
-    const ExecutionPlan plan = PlanQuery(
-        *shards, canon, eff, config_.metrics ? &metrics_ : nullptr);
+    const ExecutionPlan plan =
+        PlanQuery(*shards, canon, eff, config_.metrics ? &metrics_ : nullptr,
+                  config_.cost_learning ? &learner_ : nullptr);
     if (tb != nullptr) {
       tb->Close(plan_span);
       tb->AttrCount(plan_span, "shards", plan.shards.size());
@@ -1085,7 +1288,50 @@ QueryResult SkylineEngine::Execute(const std::string& name,
       tb->AttrCount(plan_span, "shard_threads",
                     static_cast<uint64_t>(plan.shard_threads));
     }
-    fresh = ExecuteShardedPlan(*shards, plan, canon, eff, provider, tb, root);
+    fresh = ExecuteShardedPlan(*shards, plan, canon, eff, provider,
+                               zonemap_provider, tb, root);
+  } else if (eff.algorithm == Algorithm::kZonemap && canon.band_k == 1 &&
+             canon.IsBoxOnlyTransform()) {
+    // Unsharded direct path: traverse the whole-dataset zonemap index
+    // against the constraint box on raw rows — first-ever sub-dataset
+    // pruning with no view materialization. The cached index is guarded
+    // by the minor version the way shard entries are guarded by epochs.
+    const bool cacheable = eff.block_rows == 0 ||
+                           eff.block_rows == ZoneMapIndex::kDefaultBlockRows;
+    const std::string zm_key = prefix + "zm|d";
+    std::shared_ptr<const ZoneMapIndex> zm;
+    if (cacheable) {
+      zm = zonemap_cache_.Get(zm_key);
+      if (zm != nullptr && zm->source_epoch != minor) zm = nullptr;
+    }
+    double build_seconds = 0.0;
+    const bool zm_built = zm == nullptr;
+    const int is = tb != nullptr ? tb->Open("zonemap", root) : -1;
+    if (zm_built) {
+      WallTimer build_timer;
+      ZoneMapIndex built =
+          ZoneMapIndex::Build(*data, eff.block_rows, sketch.get());
+      built.source_epoch = minor;
+      built.source_shard = -1;
+      build_seconds = build_timer.Seconds();
+      auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
+      if (cacheable) PutZonemapIfCurrent(name, version, minor, zm_key, holder);
+      zm = std::move(holder);
+    }
+    if (tb != nullptr) {
+      tb->Close(is);
+      tb->Attr(is, "source", zm_built ? "build" : "hit");
+      tb->AttrCount(is, "blocks", zm->block_count());
+    }
+    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
+    fresh = RunZonemapDirect(*data, *zm, nullptr, canon, eff);
+    if (tb != nullptr) {
+      tb->Close(ex);
+      tb->Attr(ex, "algo", AlgorithmName(Algorithm::kZonemap));
+      tb->AttrCount(ex, "rows", fresh.matched_rows);
+    }
+    fresh.stats.other_seconds += build_seconds;
+    fresh.stats.total_seconds += build_seconds;
   } else if (canon.IsIdentityTransform()) {
     const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
     fresh = RunOnTarget(*data, nullptr, canon, eff);
@@ -1133,6 +1379,27 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     fresh.stats.total_seconds += build_seconds;
   }
   fresh.constraints = canon.constraints;
+  if (config_.cost_learning && fresh.shard_algorithms.size() == 1 &&
+      (shards == nullptr || shards->shard_count() <= 1)) {
+    // One observation per unsharded fresh compute (sharded runs overlap
+    // several algorithms in one wall time, so they stay unattributed):
+    // measured wall time against the model's prediction at the query's
+    // *measured* selectivity, so the learner corrects coefficient error
+    // rather than selectivity-estimate error.
+    SelectionContext rctx;
+    rctx.band_k = canon.band_k;
+    rctx.threads = eff.ResolvedThreads();
+    rctx.progressive = eff.progressive != nullptr;
+    rctx.selectivity = sketch->n > 0
+                           ? std::min(1.0, static_cast<double>(
+                                               fresh.matched_rows) /
+                                               static_cast<double>(sketch->n))
+                           : 1.0;
+    learner_.Record(
+        fresh.shard_algorithms[0],
+        EstimateAlgorithmCost(fresh.shard_algorithms[0], *sketch, rctx),
+        fresh.stats.total_seconds);
+  }
   if (config_.metrics) {
     inst_.queries->Add();
     // Planner decision tally: one bump per executed shard under the
@@ -1311,6 +1578,40 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
       }
     }
 
+    // Block-local zonemap repair, pre-publish and outside the registry
+    // lock: a still-valid cached index of a mutated target absorbs the
+    // appended rows (tail-block extension) and is re-stamped with its
+    // post-mutation epoch; FixupCachesLocked installs the repairs after
+    // erasing the stale entries.
+    std::vector<RepairedZonemap> repaired_zm;
+    const std::string prefix = CacheKeyPrefix(version);
+    if (map != nullptr) {
+      for (size_t s = 0; s < map->shard_count(); ++s) {
+        if (touched[s] == 0) continue;
+        const std::string zm_key = prefix + "zm|s" + std::to_string(s);
+        std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+        if (zm == nullptr || zm->source_epoch != map->shard(s).epoch) {
+          continue;
+        }
+        ZoneMapIndex rep = zm->WithAppendedRows(
+            new_map->shard(s).rows(), map->shard(s).rows().count());
+        rep.source_epoch = new_map->shard(s).epoch;
+        rep.source_shard = static_cast<int>(s);
+        repaired_zm.emplace_back(
+            zm_key, std::make_shared<const ZoneMapIndex>(std::move(rep)));
+      }
+    } else {
+      const std::string zm_key = prefix + "zm|d";
+      std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+      if (zm != nullptr && zm->source_epoch == minor) {
+        ZoneMapIndex rep = zm->WithAppendedRows(*new_data, count);
+        rep.source_epoch = minor + 1;  // the bump published below
+        rep.source_shard = -1;
+        repaired_zm.emplace_back(
+            zm_key, std::make_shared<const ZoneMapIndex>(std::move(rep)));
+      }
+    }
+
     std::unique_lock lock(registry_mu_);
     auto it = registry_.find(name);
     if (it == registry_.end()) {
@@ -1326,8 +1627,8 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
     it->second.sketch = std::move(new_sketch);
     it->second.count = count + add;
     const uint64_t bumped = ++it->second.minor;
-    FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
-                      /*id_shift=*/{});
+    FixupCachesLocked(prefix, mut_lo, mut_hi, touched,
+                      /*id_shift=*/{}, repaired_zm);
     if (config_.metrics) {
       inst_.inserts->Add();
       inst_.rows_inserted->Add(add);
@@ -1453,13 +1754,55 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
         if (config_.metrics) inst_.sketch_rebuilds->Add();
       }
     } else {
-      for (const PointId id : drop) GrowBox(mut_lo, mut_hi, data->Row(id), dims);
+      for (const PointId id : drop)
+        GrowBox(mut_lo, mut_hi, data->Row(id), dims);
       new_data = std::make_shared<const Dataset>(
           DatasetWithoutRows(*data, deleted));
       UpdateSketchOnDelete(*new_sketch, drop.size());
       if (SketchNeedsRebuild(*new_sketch)) {
         *new_sketch = ComputeSketch(*new_data);
         if (config_.metrics) inst_.sketch_rebuilds->Add();
+      }
+    }
+
+    // Block-local zonemap repair, pre-publish (see InsertPoints): drop
+    // the deleted local rows from their blocks and recompute only the
+    // touched AABBs. Untouched shards keep their indexes through
+    // FixupCachesLocked (shard-local numbering is unchanged by a pure
+    // global-id remap, and the shard epoch proves it).
+    std::vector<RepairedZonemap> repaired_zm;
+    const std::string prefix = CacheKeyPrefix(version);
+    if (map != nullptr) {
+      for (size_t s = 0; s < map->shard_count(); ++s) {
+        if (touched[s] == 0) continue;
+        const std::string zm_key = prefix + "zm|s" + std::to_string(s);
+        std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+        if (zm == nullptr || zm->source_epoch != map->shard(s).epoch) {
+          continue;
+        }
+        const Shard& old_shard = map->shard(s);
+        std::vector<PointId> drop_local;  // ascending pre-delete numbering
+        for (size_t i = 0; i < old_shard.row_ids.size(); ++i) {
+          if (deleted[old_shard.row_ids[i]]) {
+            drop_local.push_back(static_cast<PointId>(i));
+          }
+        }
+        ZoneMapIndex rep =
+            zm->WithDeletedRows(new_map->shard(s).rows(), drop_local);
+        rep.source_epoch = new_map->shard(s).epoch;
+        rep.source_shard = static_cast<int>(s);
+        repaired_zm.emplace_back(
+            zm_key, std::make_shared<const ZoneMapIndex>(std::move(rep)));
+      }
+    } else {
+      const std::string zm_key = prefix + "zm|d";
+      std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+      if (zm != nullptr && zm->source_epoch == minor) {
+        ZoneMapIndex rep = zm->WithDeletedRows(*new_data, drop);
+        rep.source_epoch = minor + 1;  // the bump published below
+        rep.source_shard = -1;
+        repaired_zm.emplace_back(
+            zm_key, std::make_shared<const ZoneMapIndex>(std::move(rep)));
       }
     }
 
@@ -1478,8 +1821,7 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
     it->second.sketch = std::move(new_sketch);
     it->second.count = count - drop.size();
     const uint64_t bumped = ++it->second.minor;
-    FixupCachesLocked(CacheKeyPrefix(version), mut_lo, mut_hi, touched,
-                      shift);
+    FixupCachesLocked(prefix, mut_lo, mut_hi, touched, shift, repaired_zm);
     if (config_.metrics) {
       inst_.deletes->Add();
       inst_.rows_deleted->Add(drop.size());
@@ -1493,7 +1835,8 @@ void SkylineEngine::FixupCachesLocked(
     const std::string& prefix, const std::vector<Value>& mut_lo,
     const std::vector<Value>& mut_hi,
     const std::vector<uint8_t>& touched_shards,
-    const std::vector<uint32_t>& id_shift) {
+    const std::vector<uint32_t>& id_shift,
+    const std::vector<RepairedZonemap>& repaired_zonemaps) {
   const bool is_delete = !id_shift.empty();
   // Result cache: an entry survives iff its constraint box provably
   // excludes every mutated row — then no inserted or deleted row is in
@@ -1552,10 +1895,34 @@ void SkylineEngine::FixupCachesLocked(
         }
         return v;
       });
+  // Zonemap cache: indexes live in shard-local row space, exactly like
+  // shard-cut views — a shard entry survives iff its shard kept its rows
+  // (deletes of *other* shards only remap global ids, which the index
+  // never stores). The whole-dataset entry is always erased: any
+  // unsharded mutation changed its rows, and any sharded mutation means
+  // the key is unused anyway. The pre-built block-local repairs are then
+  // installed in place of what was erased.
+  const size_t zonemaps_erased = zonemap_cache_.EditPrefix(
+      prefix,
+      [&](const std::string&, const std::shared_ptr<const ZoneMapIndex>& v)
+          -> std::shared_ptr<const ZoneMapIndex> {
+        if (v->source_shard >= 0) {
+          const size_t s = static_cast<size_t>(v->source_shard);
+          const bool untouched =
+              s < touched_shards.size() && touched_shards[s] == 0;
+          return untouched ? v : nullptr;
+        }
+        return nullptr;
+      });
+  for (const RepairedZonemap& rz : repaired_zonemaps) {
+    zonemap_cache_.Put(rz.first, rz.second);
+  }
   if (config_.metrics) {
     inst_.invalidated_results->Add(results_erased);
     inst_.invalidated_views->Add(views_erased);
     inst_.invalidated_selectivities->Add(selectivities_erased);
+    inst_.invalidated_zonemaps->Add(zonemaps_erased);
+    inst_.zonemap_repairs->Add(repaired_zonemaps.size());
   }
 }
 

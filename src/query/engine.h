@@ -33,8 +33,10 @@
 
 #include "core/options.h"
 #include "data/sketch.h"
+#include "index/zonemap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/cost_model.h"
 #include "query/planner.h"
 #include "query/query_spec.h"
 #include "query/result_cache.h"
@@ -131,6 +133,12 @@ class SkylineEngine {
     /// baseline of bench/perf_smoke's metrics pair. The per-cache LRU
     /// counters are maintained by the caches regardless.
     bool metrics = true;
+    /// Online cost-model recalibration (query/cost_model.h CostLearner):
+    /// unsharded and single-shard fresh computes record their measured
+    /// wall time against the model's prediction, and kAuto selection
+    /// scales candidate costs by the learned per-algorithm ratios. Off by
+    /// default so deterministic tests see the static model.
+    bool cost_learning = false;
   };
 
   SkylineEngine();  // default Config
@@ -214,7 +222,13 @@ class SkylineEngine {
     cache_.Clear();
     view_cache_.Clear();
     selectivity_cache_.Clear();
+    zonemap_cache_.Clear();
   }
+
+  /// The learner behind Config::cost_learning (state persists across
+  /// queries; exposed so tests and benches can inspect or reset it).
+  CostLearner& Learner() { return learner_; }
+  const CostLearner& Learner() const { return learner_; }
 
   /// A cached constraint-selectivity estimate plus the constraint box it
   /// was estimated for (the mutation path's invalidation key).
@@ -231,6 +245,7 @@ class SkylineEngine {
   LruCache<QueryResult>::Counters cache_counters() const;
   LruCache<QueryView>::Counters view_cache_counters() const;
   LruCache<SelectivityEntry>::Counters selectivity_cache_counters() const;
+  LruCache<ZoneMapIndex>::Counters zonemap_cache_counters() const;
 
   /// The engine's metrics registry — every counter/histogram the serving
   /// and mutation paths feed (plus the cache-counter collector), ready
@@ -269,17 +284,30 @@ class SkylineEngine {
   void PutSelectivityIfCurrent(const std::string& name, uint64_t version,
                                uint64_t minor, const std::string& key,
                                std::shared_ptr<const SelectivityEntry> value);
+  void PutZonemapIfCurrent(const std::string& name, uint64_t version,
+                           uint64_t minor, const std::string& key,
+                           std::shared_ptr<const ZoneMapIndex> value);
+
+  /// A block-locally repaired zonemap index ready to replace a cache
+  /// entry the mutation invalidated, stamped with its post-mutation
+  /// epoch. Built pre-publish (outside the registry lock) by
+  /// InsertPoints / DeletePoints from the still-valid cached index.
+  using RepairedZonemap =
+      std::pair<std::string, std::shared_ptr<const ZoneMapIndex>>;
 
   /// Selective cache fixup after a mutation, called with `registry_mu_`
   /// held exclusively (lock order registry -> cache is the process-wide
   /// rule). `mut_lo`/`mut_hi` bound every mutated row; `touched_shards`
   /// flags repaired shards (empty when unsharded); `id_shift` is the
-  /// delete compaction map (empty for pure inserts).
+  /// delete compaction map (empty for pure inserts). Zonemap entries for
+  /// touched shards (and the whole-dataset entry) are erased, then the
+  /// `repaired_zonemaps` replacements are installed.
   void FixupCachesLocked(const std::string& prefix,
                          const std::vector<Value>& mut_lo,
                          const std::vector<Value>& mut_hi,
                          const std::vector<uint8_t>& touched_shards,
-                         const std::vector<uint32_t>& id_shift);
+                         const std::vector<uint32_t>& id_shift,
+                         const std::vector<RepairedZonemap>& repaired_zonemaps);
 
   /// Hot-path instruments, interned once at construction so serving
   /// threads never touch the registry mutex (obs/metrics.h pointers are
@@ -300,6 +328,8 @@ class SkylineEngine {
     obs::Counter* invalidated_results = nullptr;
     obs::Counter* invalidated_views = nullptr;
     obs::Counter* invalidated_selectivities = nullptr;
+    obs::Counter* invalidated_zonemaps = nullptr;
+    obs::Counter* zonemap_repairs = nullptr;  ///< sky_zonemap_repairs_total
     /// sky_engine_algorithm_total{algo=...}, indexed by Algorithm value —
     /// one bump per executed shard (the planner decision tally).
     std::array<obs::Counter*, static_cast<size_t>(Algorithm::kAuto) + 1>
@@ -326,6 +356,14 @@ class SkylineEngine {
   /// invalidates them with the sketch they came from. Values carry their
   /// constraint box so mutations can invalidate selectively.
   LruCache<SelectivityEntry> selectivity_cache_;
+  /// Lazily built per-shard (and whole-dataset) block zonemap indexes
+  /// (index/zonemap.h), keyed "<version>|zm|s<idx>" / "<version>|zm|d"
+  /// and epoch-guarded like shard views: an entry is served only when its
+  /// source_epoch still matches the shard epoch (the minor version for
+  /// unsharded data). Only default-block-size indexes are cached;
+  /// explicit Options::block_rows overrides build privately.
+  LruCache<ZoneMapIndex> zonemap_cache_;
+  CostLearner learner_;  ///< behind Config::cost_learning
 };
 
 /// Unified engine-health snapshot: all three cache counter sets plus the
@@ -335,6 +373,7 @@ struct EngineMetricsSnapshot {
   LruCache<QueryResult>::Counters result_cache;
   LruCache<QueryView>::Counters view_cache;
   LruCache<SkylineEngine::SelectivityEntry>::Counters selectivity_cache;
+  LruCache<ZoneMapIndex>::Counters zonemap_cache;
   size_t datasets = 0;
 };
 
@@ -348,6 +387,10 @@ inline LruCache<QueryView>::Counters SkylineEngine::view_cache_counters()
 inline LruCache<SkylineEngine::SelectivityEntry>::Counters
 SkylineEngine::selectivity_cache_counters() const {
   return MetricsSnapshot().selectivity_cache;
+}
+inline LruCache<ZoneMapIndex>::Counters
+SkylineEngine::zonemap_cache_counters() const {
+  return MetricsSnapshot().zonemap_cache;
 }
 
 }  // namespace sky

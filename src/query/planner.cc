@@ -59,7 +59,8 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon) {
 }
 
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
-                        const Options& opts, obs::MetricsRegistry* metrics) {
+                        const Options& opts, obs::MetricsRegistry* metrics,
+                        const CostLearner* learner) {
   ExecutionPlan plan = PlanQuery(map, canon);
   if (metrics != nullptr) {
     // Interning is a mutex + map lookup — fine at plan frequency, and it
@@ -106,6 +107,12 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
   // the merge stage streams for multi-shard plans), so a progressive
   // caller needs streaming-capable picks throughout.
   ctx.progressive = opts.progressive != nullptr;
+  // Zonemap runs directly on raw shard rows only for band-1 box-only
+  // specs with a real constraint box (engine.cc's direct path); elsewhere
+  // it is not a candidate.
+  ctx.zonemap_direct = canon.band_k == 1 && !canon.constraints.empty() &&
+                       canon.IsBoxOnlyTransform();
+  ctx.learner = learner;
   for (const uint32_t s : plan.shards) {
     const StatsSketch& sketch = map.shard(s).sketch;
     ctx.selectivity =
@@ -128,6 +135,7 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
     merge_ctx.band_k = canon.band_k;
     merge_ctx.threads = total_threads;
     merge_ctx.progressive = ctx.progressive;
+    merge_ctx.learner = learner;
     plan.merge_algorithm = ChooseAlgorithm(union_sketch, merge_ctx).algorithm;
   }
   return plan;

@@ -20,6 +20,8 @@
 
 namespace sky {
 
+class CostLearner;  // query/cost_model.h
+
 /// How per-shard partial results combine into the final answer.
 enum class MergeStrategy : uint8_t {
   kNone,          ///< 0 or 1 executed shards: the partial result is final
@@ -78,10 +80,12 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon);
 /// `metrics` registry receives the planner's decision tallies —
 /// sky_planner_plans_total, sky_planner_shards_{executed,pruned}_total
 /// and the per-strategy sky_planner_merge_total — at plan time, where
-/// the decisions are made.
+/// the decisions are made. A non-null `learner` scales each candidate's
+/// model cost by its measured/predicted EMA (Config::cost_learning).
 ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
                         const Options& opts,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        obs::MetricsRegistry* metrics = nullptr,
+                        const CostLearner* learner = nullptr);
 
 }  // namespace sky
 

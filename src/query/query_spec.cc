@@ -182,6 +182,11 @@ bool QuerySpec::IsIdentityTransform() const {
                      [](Preference p) { return p == Preference::kMin; });
 }
 
+bool QuerySpec::IsBoxOnlyTransform() const {
+  return std::all_of(preferences.begin(), preferences.end(),
+                     [](Preference p) { return p == Preference::kMin; });
+}
+
 QuerySpec& QuerySpec::SetPreference(int dim, Preference p) {
   if (dim < 0 || dim >= kMaxDims) Fail("preference dimension out of range");
   if (preferences.size() <= static_cast<size_t>(dim)) {

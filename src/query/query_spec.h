@@ -80,6 +80,13 @@ struct QuerySpec {
   /// minimize everything, no projection, no constraints.
   bool IsIdentityTransform() const;
 
+  /// True when the spec differs from the native question at most by box
+  /// constraints: minimize everything, no projection. Such specs can run
+  /// on raw rows with the box applied during the scan — the zonemap
+  /// direct path exploits this (candidate rows keep original values, so
+  /// dominance and scoring match the materialized view bit-for-bit).
+  bool IsBoxOnlyTransform() const;
+
   // -- Builder-style helpers (return *this for chaining) --------------
 
   /// Set the preference of one dimension, growing the vector as needed.

@@ -18,7 +18,8 @@ TEST(Options, AlgorithmNamesRoundTrip) {
         Algorithm::kSSkyline, Algorithm::kPSkyline, Algorithm::kAPSkyline,
         Algorithm::kPsfs,
         Algorithm::kQFlow, Algorithm::kHybrid, Algorithm::kBSkyTree,
-        Algorithm::kBSkyTreeS, Algorithm::kOsp, Algorithm::kPBSkyTree}) {
+        Algorithm::kBSkyTreeS, Algorithm::kOsp, Algorithm::kPBSkyTree,
+        Algorithm::kZonemap}) {
     EXPECT_EQ(ParseAlgorithm(AlgorithmName(a)), a);
   }
   EXPECT_THROW(ParseAlgorithm("quantum"), std::invalid_argument);
@@ -61,7 +62,7 @@ TEST(Options, ParseErrorListsEveryValidName) {
 }
 
 TEST(AlgorithmRegistry, CoversEveryAlgorithmExactlyOnce) {
-  ASSERT_EQ(AlgorithmTable().size(), 14u);
+  ASSERT_EQ(AlgorithmTable().size(), 15u);
   for (const AlgorithmDescriptor& desc : AlgorithmTable()) {
     // Each row is self-consistent and reachable through the lookup.
     EXPECT_EQ(&GetAlgorithmDescriptor(desc.algorithm), &desc);
@@ -84,8 +85,8 @@ TEST(AlgorithmRegistry, AutoCandidatesMatchThePaperNarrative) {
   }
   EXPECT_EQ(candidates,
             (std::vector<Algorithm>{Algorithm::kPSkyline, Algorithm::kQFlow,
-                                    Algorithm::kHybrid,
-                                    Algorithm::kBSkyTree}));
+                                    Algorithm::kHybrid, Algorithm::kBSkyTree,
+                                    Algorithm::kZonemap}));
 }
 
 TEST(Options, AlphaDefaultsFollowPaper) {

@@ -46,6 +46,7 @@ struct CliArgs {
   int d = 8;
   int threads = 0;
   size_t alpha = 0;
+  size_t block_rows = 0;  // zonemap block size (0 = default 256)
   std::string pivot = "median";
   uint64_t seed = 42;
   bool no_simd = false;
@@ -87,7 +88,8 @@ struct CliArgs {
       exit_code == 0 ? stdout : stderr,
       "usage: skybench [options]\n"
       "  --algo=NAME      bnl|sfs|less|salsa|sskyline|pskyline|psfs|qflow|\n"
-      "                   hybrid|bskytree|pbskytree|all      (default hybrid)\n"
+      "                   hybrid|bskytree|pbskytree|zonemap|all\n"
+      "                   (default hybrid)\n"
       "                   auto = cost-model selection per query and shard\n"
       "  --dist=NAME      corr|indep|anti|nba|house|weather  (default indep)\n"
       "  --n=N --d=D      generated workload size             (1e5 x 8)\n"
@@ -98,6 +100,8 @@ struct CliArgs {
       "                   else CSV)\n"
       "  --threads=T      0 = all hardware threads\n"
       "  --alpha=A        block size (0 = paper default)\n"
+      "  --block-rows=N   rows per zonemap block for --algo=zonemap\n"
+      "                   (0 = default 256)\n"
       "  --pivot=NAME     median|balanced|manhattan|volume|random\n"
       "  --seed=S         generator / random pivot seed\n"
       "  --no-simd        scalar dominance kernels\n"
@@ -190,6 +194,9 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--threads", &v) && v) a.threads = std::atoi(v);
     else if (Flag(argv[i], "--alpha", &v) && v)
       a.alpha = static_cast<size_t>(std::atoll(v));
+    else if (Flag(argv[i], "--block-rows", &v) && v)
+      a.block_rows = static_cast<size_t>(
+          ParseCount(v, "--block-rows", 100'000'000));
     else if (Flag(argv[i], "--pivot", &v) && v) a.pivot = v;
     else if (Flag(argv[i], "--seed", &v) && v)
       a.seed = static_cast<uint64_t>(std::atoll(v));
@@ -240,6 +247,7 @@ Options BuildOptions(const CliArgs& a, Algorithm algo) {
   o.algorithm = algo;
   o.threads = a.threads;
   o.alpha = a.alpha;
+  o.block_rows = a.block_rows;
   o.pivot = ParsePivotPolicy(a.pivot);
   o.use_simd = !a.no_simd;
   o.use_batch = !a.no_batch;
