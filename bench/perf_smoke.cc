@@ -11,7 +11,10 @@
 // engine state from scratch (re-register + per-shard skyline bootstrap).
 // A third gate covers the zonemap index: a 1%-box constrained query at
 // anti n=200k d=8 served through the cached index must be >= 2x faster
-// than the materialize-view + sequential-scan baseline.
+// than the materialize-view + sequential-scan baseline. A fourth gate
+// holds the shared work-stealing executor's win: 8 clients serving
+// sharded 1%-box queries through one persistent executor must deliver
+// >= 1.3x the throughput of the per-query-ThreadPool baseline.
 //
 //   perf_smoke [--out=PATH] [--check]
 //
@@ -31,8 +34,11 @@
 #include "common/timer.h"
 #include "dominance/batch.h"
 #include "dominance/dominance.h"
+#include "parallel/executor.h"
+#include "parallel/thread_pool.h"
 #include "query/delta.h"
 #include "query/engine.h"
+#include "query/shard_map.h"
 
 namespace sky {
 namespace {
@@ -284,6 +290,87 @@ std::pair<Entry, Entry> ZonemapPair(int repeats) {
   return {zm, scan};
 }
 
+/// Concurrent sharded serving: 8 client threads hammer one engine with
+/// ~0.1%-box queries over an 8-shard anti n=200k d=8 registration, once
+/// with Config::shared_executor off (the seed's per-query ThreadPool:
+/// every request spawns and joins its own workers) and once on the
+/// engine's persistent work-stealing executor (requests submit capped
+/// task groups). Steady state: the result cache is off so every Execute
+/// plans, computes and merges, while the fixed box set keeps the shard
+/// view cache warm — the rows time the serving stack, not the one-time
+/// O(n) view filters, which are identical in both arms. Returns
+/// {pooled, executor}; ns_per_op is one served query (aggregate wall
+/// time / queries, median of repeats).
+std::pair<Entry, Entry> ConcurrentServingPair(int repeats) {
+  constexpr size_t kN = 200'000;
+  constexpr int kD = 8;
+  constexpr size_t kShards = 8;
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 8;
+  WorkloadSpec spec{Distribution::kAnticorrelated, kN, kD, 42};
+  const Dataset& data = WorkloadCache::Instance().Get(spec);
+
+  // Narrow boxes: the point-lookup-flavoured end of the serving mix,
+  // where per-query compute is small and the per-request scheduling cost
+  // the two arms differ in is actually visible.
+  std::vector<QuerySpec> boxes;
+  for (int b = 0; b < 4; ++b) {
+    QuerySpec q;
+    const float lo = 0.10f + 0.01f * static_cast<float>(b);
+    q.Constrain(0, lo, lo + 0.001f);
+    boxes.push_back(q);
+  }
+
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const int reps = std::max(repeats, 3);
+  const auto measure = [&](bool shared) {
+    SkylineEngine::Config cfg;
+    cfg.result_cache_capacity = 0;  // every Execute computes and merges
+    cfg.view_cache_capacity = 64;   // all shard x box views stay warm
+    cfg.shards = kShards;
+    cfg.shard_policy = ShardPolicy::kMedianPivot;
+    cfg.shared_executor = shared;
+    SkylineEngine engine(cfg);
+    engine.RegisterDataset("smoke", data.Clone());
+    Options warm;
+    warm.threads = static_cast<int>(kShards);
+    for (const QuerySpec& box : boxes) {
+      engine.Execute("smoke", box, warm);  // builds the per-shard views
+    }
+    std::vector<double> per_query_s;
+    for (int rep = 0; rep < reps; ++rep) {
+      ThreadPool client_pool(kClients);
+      WallTimer t;
+      client_pool.RunOnAll([&](int client) {
+        Options o;
+        o.threads = static_cast<int>(kShards);  // the request's ask: a cap
+                                                // vs threads to spawn
+        for (int q = 0; q < kQueriesEach; ++q) {
+          engine.Execute("smoke", boxes[(client + q) % boxes.size()], o);
+        }
+      });
+      per_query_s.push_back(std::max(t.Seconds(), 1e-12) /
+                            (kClients * kQueriesEach));
+    }
+    return median(per_query_s);
+  };
+  char name[128];
+  std::snprintf(name, sizeof(name),
+                "engine/concurrent_serving_pooled/anti/n=%zu/d=%d/shards=%zu/"
+                "clients=%d",
+                kN, kD, kShards, kClients);
+  Entry pooled{name, measure(false) * 1e9, 0.0};
+  std::snprintf(name, sizeof(name),
+                "engine/concurrent_serving_executor/anti/n=%zu/d=%d/"
+                "shards=%zu/clients=%d",
+                kN, kD, kShards, kClients);
+  Entry shared{name, measure(true) * 1e9, 0.0};
+  return {pooled, shared};
+}
+
 void WriteJson(const std::string& path, const std::vector<Entry>& entries) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -403,6 +490,26 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "perf_smoke: GATE FAILED: zonemap-served constrained "
                    "query only %.2fx the scan baseline (need >= 2x)\n",
+                   speedup);
+      gate_ok = false;
+    }
+  }
+
+  // ---- Shared executor: concurrent sharded serving vs per-query pools.
+  {
+    const auto [pooled, shared] = ConcurrentServingPair(repeats);
+    entries.push_back(pooled);
+    entries.push_back(shared);
+    const double speedup = pooled.ns_per_op / shared.ns_per_op;
+    std::printf("%-48s %12.0f ns/op\n", pooled.name.c_str(),
+                pooled.ns_per_op);
+    std::printf("%-48s %12.0f ns/op  (executor %.2fx faster)\n",
+                shared.name.c_str(), shared.ns_per_op, speedup);
+    if (check && speedup < 1.3) {
+      std::fprintf(stderr,
+                   "perf_smoke: GATE FAILED: shared-executor concurrent "
+                   "serving only %.2fx the per-query-pool baseline "
+                   "(need >= 1.3x)\n",
                    speedup);
       gate_ok = false;
     }

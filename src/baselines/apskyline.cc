@@ -106,7 +106,7 @@ Result APSkylineCompute(const Dataset& data, const Options& opts) {
   if (data.count() == 0) return res;
   WallTimer total;
   const int t = opts.ResolvedThreads();
-  ThreadPool pool(t);
+  ThreadPool pool(opts.executor, t);
   DomCtx dom(data.dims(), data.stride(), opts.use_simd);
   DtCounter counter(opts.count_dts);
   const int d = data.dims();

@@ -263,7 +263,7 @@ Result PBSkyTreeCompute(const Dataset& data, const Options& opts) {
   RunStats& st = res.stats;
   if (data.count() == 0) return res;
   WallTimer total;
-  ThreadPool pool(opts.ResolvedThreads());
+  ThreadPool pool(opts.executor, opts.ResolvedThreads());
   DomCtx dom(data.dims(), data.stride(), opts.use_simd);
 
   WorkingSet ws = WorkingSet::FromDataset(data, pool);

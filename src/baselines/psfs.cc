@@ -18,7 +18,7 @@ Result PsfsCompute(const Dataset& data, const Options& opts) {
   RunStats& st = res.stats;
   if (data.count() == 0) return res;
   WallTimer total;
-  ThreadPool pool(opts.ResolvedThreads());
+  ThreadPool pool(opts.executor, opts.ResolvedThreads());
   DomCtx dom(data.dims(), data.stride(), opts.use_simd);
   DtCounter counter(opts.count_dts);
 

@@ -122,7 +122,7 @@ Result HybridCompute(const Dataset& data, const Options& opts) {
   if (data.count() == 0) return res;
 
   WallTimer total;
-  ThreadPool pool(opts.ResolvedThreads());
+  ThreadPool pool(opts.executor, opts.ResolvedThreads());
   DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
   DtCounter counter(opts.count_dts);
   DtCounter* counter_ptr = opts.count_dts ? &counter : nullptr;

@@ -15,6 +15,8 @@
 
 namespace sky {
 
+class Executor;
+
 /// Every algorithm implemented by the library. Q-Flow and Hybrid are the
 /// paper's contribution; the rest are the baselines of its evaluation plus
 /// the classic sequential algorithms the benchmark suite ships. Each
@@ -58,8 +60,18 @@ struct Options {
   Algorithm algorithm = Algorithm::kHybrid;
 
   /// Total parallelism (including the calling thread). 0 = hardware
-  /// concurrency. Sequential algorithms ignore this.
+  /// concurrency. Sequential algorithms ignore this. When `executor` is
+  /// set this is a concurrency *limit* (TaskGroup cap) on that shared
+  /// scheduler rather than a thread count to spawn.
   int threads = 0;
+
+  /// Optional shared work-stealing scheduler (parallel/executor.h), not
+  /// owned. When set, parallel algorithms run their phase loops as capped
+  /// task groups on these borrowed workers instead of constructing a
+  /// private pool — the engine sets this so concurrent queries and
+  /// mutations share one bounded worker set. Null = standalone pool (the
+  /// CLI/library one-shot fallback).
+  Executor* executor = nullptr;
 
   /// Block size α. 0 = per-algorithm default from the paper's Fig. 7/8
   /// study: 2^13 for Q-Flow/PSFS, 2^10 for Hybrid.

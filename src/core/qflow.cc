@@ -32,7 +32,7 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
   if (data.count() == 0) return res;
 
   WallTimer total;
-  ThreadPool pool(opts.ResolvedThreads());
+  ThreadPool pool(opts.executor, opts.ResolvedThreads());
   DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
   DtCounter counter(opts.count_dts);
 

@@ -35,7 +35,7 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
   if (data.count() == 0) return res;
 
   WallTimer total;
-  ThreadPool pool(opts.ResolvedThreads());
+  ThreadPool pool(opts.executor, opts.ResolvedThreads());
   DomCtx dom(data.dims(), data.stride(), opts.use_simd, opts.use_batch);
 
   WorkingSet ws = WorkingSet::FromDataset(data, pool);

@@ -3,101 +3,61 @@
 
 #include <algorithm>
 
-#include "common/macros.h"
+#include "parallel/executor.h"
 
 namespace sky {
 
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
-  workers_.reserve(static_cast<size_t>(threads_ - 1));
-  for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  if (threads_ > 1) {
+    owned_ = std::make_unique<Executor>(threads_);
+    exec_ = owned_.get();
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  start_cv_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-int ThreadPool::DefaultThreads() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
-}
-
-void ThreadPool::WorkerLoop(int index) {
-  uint64_t seen = 0;
-  for (;;) {
-    const std::function<void(int)>* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      job = job_;
-    }
-    (*job)(index);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--running_ == 0) done_cv_.notify_all();
-    }
+ThreadPool::ThreadPool(Executor* executor, int threads)
+    : threads_(std::max(1, threads)) {
+  if (executor != nullptr) {
+    threads_ = std::max(1, std::min(threads_, executor->threads()));
+    if (threads_ > 1) exec_ = executor;
+  } else if (threads_ > 1) {
+    owned_ = std::make_unique<Executor>(threads_);
+    exec_ = owned_.get();
   }
 }
+
+ThreadPool::~ThreadPool() = default;
+
+int ThreadPool::DefaultThreads() { return Executor::DefaultThreads(); }
 
 void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
-  if (threads_ == 1) {
+  if (exec_ == nullptr) {
     fn(0);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    running_ = threads_ - 1;
-    ++generation_;
-  }
-  start_cv_.notify_all();
-  fn(0);  // caller is worker 0
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
-  job_ = nullptr;
+  Executor::TaskGroup group(*exec_, threads_);
+  group.RunOnAll(fn);
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  grain = std::max<size_t>(1, grain);
-  if (threads_ == 1 || n <= grain) {
+  if (exec_ == nullptr) {
     fn(0, n);
     return;
   }
-  std::atomic<size_t> cursor{0};
-  RunOnAll([&](int) {
-    for (;;) {
-      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= n) return;
-      fn(begin, std::min(begin + grain, n));
-    }
-  });
+  Executor::TaskGroup group(*exec_, threads_);
+  group.ParallelFor(n, grain, fn);
 }
 
 void ThreadPool::ParallelForStatic(
     size_t n, const std::function<void(size_t, size_t, int)>& fn) {
   if (n == 0) return;
-  if (threads_ == 1) {
+  if (exec_ == nullptr) {
     fn(0, n, 0);
     return;
   }
-  const size_t per = (n + static_cast<size_t>(threads_) - 1) /
-                     static_cast<size_t>(threads_);
-  RunOnAll([&](int w) {
-    const size_t begin = std::min(n, per * static_cast<size_t>(w));
-    const size_t end = std::min(n, begin + per);
-    if (begin < end) fn(begin, end, w);
-  });
+  Executor::TaskGroup group(*exec_, threads_);
+  group.ParallelForStatic(n, fn);
 }
 
 }  // namespace sky

@@ -1,28 +1,39 @@
 // Copyright (c) SkyBench-NG contributors.
-// Fork-join thread pool replacing the paper's OpenMP runtime (§VII-A2).
+// Fork-join pool facade over the work-stealing scheduler core
+// (parallel/executor.h), replacing the paper's OpenMP runtime (§VII-A2).
 // Workers are persistent: Q-Flow/Hybrid dispatch two parallel phases per
 // α-block, so per-phase thread spawning would dwarf the work (§IV-B).
+//
+// Two modes share one API:
+//  - standalone `ThreadPool(threads)` owns a private Executor — the
+//    non-engine/CLI fallback with the historical semantics;
+//  - borrowed `ThreadPool(executor, threads)` runs every loop as a capped
+//    TaskGroup on a shared engine-owned Executor, so concurrent queries
+//    draw from one bounded worker set instead of oversubscribing.
 #ifndef SKY_PARALLEL_THREAD_POOL_H_
 #define SKY_PARALLEL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
 
 namespace sky {
 
+class Executor;
+
 /// Fixed-size fork-join pool. `threads` counts total parallelism: the
-/// calling thread participates as worker 0 and `threads - 1` std::threads
-/// are spawned. With threads == 1 every operation runs inline, so a
-/// single-threaded run carries no synchronisation overhead at all (the
-/// paper's t=1 baselines depend on this).
+/// calling thread participates as worker 0. With threads == 1 every
+/// operation runs inline and no scheduler is constructed at all, so a
+/// single-threaded run carries no synchronisation overhead (the paper's
+/// t=1 baselines depend on this).
 class ThreadPool {
  public:
+  /// Standalone mode: owns a private Executor with `threads - 1` workers.
   explicit ThreadPool(int threads);
+  /// Borrowed mode: loops run as TaskGroups capped at `threads` on the
+  /// shared `executor` (further clamped to the executor's width). A null
+  /// executor degrades to standalone mode.
+  ThreadPool(Executor* executor, int threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,9 +44,10 @@ class ThreadPool {
   /// Hardware concurrency with a sane floor of 1.
   static int DefaultThreads();
 
-  /// Run `fn(worker_index)` once on every worker (0 == caller) and block
-  /// until all invocations return. This is the fork-join primitive; all
-  /// higher-level loops are built on it.
+  /// Run `fn(worker_index)` once per parallelism slot (0 == caller) and
+  /// block until all invocations return. This is the fork-join primitive;
+  /// all higher-level loops are built on it. Standalone pools guarantee
+  /// the slots run concurrently; borrowed pools only bound them.
   void RunOnAll(const std::function<void(int)>& fn);
 
   /// Dynamic-schedule parallel loop over [0, n): workers repeatedly claim
@@ -46,25 +58,17 @@ class ThreadPool {
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
-  /// Static-schedule variant: worker w gets the w-th of `threads` nearly
+  /// Static-schedule variant: slot w gets the w-th of `threads` nearly
   /// equal contiguous ranges. Used where per-item cost is uniform (L1
   /// computation, mask computation) and locality matters.
   void ParallelForStatic(size_t n,
                          const std::function<void(size_t, size_t, int)>& fn);
 
  private:
-  void WorkerLoop(int index);
-
-  const int threads_;
-  std::vector<std::thread> workers_;
-
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;                        // guarded by mu_
-  int running_ = 0;                                // guarded by mu_
-  bool shutdown_ = false;                          // guarded by mu_
+  int threads_;
+  std::unique_ptr<Executor> owned_;  // standalone multi-threaded mode
+  Executor* exec_ = nullptr;         // scheduler core (owned or borrowed);
+                                     // null when threads_ == 1
 };
 
 }  // namespace sky

@@ -415,11 +415,27 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     }
     if (tb != nullptr) p.trace_seconds = tb->Now() - p.trace_start;
   };
+  Executor::GroupStats exec_stats;
+  bool used_group = false;
+  const int workers = static_cast<int>(
+      std::min(n_shards, static_cast<size_t>(opts.ResolvedThreads())));
   if (plan.shard_threads > 1) {
+    // Shards in turn, each with intra-shard parallelism: the per-shard
+    // algorithms borrow workers themselves (shard_opts carries
+    // opts.executor), so no fan-out group is needed here.
     for (size_t s = 0; s < n_shards; ++s) run_shard(s);
+  } else if (opts.executor != nullptr) {
+    // Serving path: fan the shards out as one capped task group on the
+    // engine's shared executor — zero pool constructions per request.
+    Executor::TaskGroup group(*opts.executor, workers);
+    group.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) run_shard(s);
+    });
+    exec_stats = group.stats();
+    used_group = true;
   } else {
-    const int workers = static_cast<int>(
-        std::min(n_shards, static_cast<size_t>(opts.ResolvedThreads())));
+    // One-shot fallback (RunShardedQuery without an engine): a private
+    // pool scoped to this call.
     ThreadPool pool(workers);
     pool.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
       for (size_t s = begin; s < end; ++s) run_shard(s);
@@ -450,6 +466,18 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
       } else if (!identity) {
         tb->Attr(span, "view", p.view_built ? "build" : "hit");
       }
+    }
+    if (used_group) {
+      // Scheduler accounting for the fan-out group: how many distinct
+      // participants (workers + the caller) touched this query, how many
+      // tasks it submitted or ran inline, and how many were stolen.
+      tb->AttrCount(trace_parent, "executor.workers",
+                    static_cast<size_t>(exec_stats.workers_used));
+      tb->AttrCount(trace_parent, "executor.tasks",
+                    static_cast<size_t>(exec_stats.tasks +
+                                        exec_stats.inline_runs));
+      tb->AttrCount(trace_parent, "executor.steals",
+                    static_cast<size_t>(exec_stats.steals));
     }
   }
 
@@ -770,6 +798,8 @@ SkylineEngine::SkylineEngine() : SkylineEngine(Config{}) {}
 
 SkylineEngine::SkylineEngine(Config config)
     : config_(config),
+      executor_(config.executor_threads > 0 ? config.executor_threads
+                                            : Executor::DefaultThreads()),
       cache_(config.result_cache_capacity, config.result_cache_bytes,
              &QueryResultBytes, config.result_cache_ttl),
       view_cache_(config.view_cache_capacity, config.view_cache_bytes,
@@ -893,6 +923,36 @@ void SkylineEngine::WireInstruments() {
     datasets.kind = obs::MetricKind::kGauge;
     datasets.value = static_cast<double>(s.datasets);
     out.push_back(std::move(datasets));
+    // Shared-scheduler counters, read from the executor's own atomics at
+    // snapshot time (the scheduler keeps them regardless of
+    // Config::metrics, like the cache counters above).
+    const Executor::CountersSnapshot ex = executor_.Counters();
+    const auto push = [&out](const char* name, const char* help,
+                             obs::MetricKind kind, double value) {
+      obs::MetricValue m;
+      m.name = name;
+      m.help = help;
+      m.kind = kind;
+      m.value = value;
+      out.push_back(std::move(m));
+    };
+    push("sky_executor_tasks_total",
+         "Tasks executed by the shared work-stealing executor",
+         obs::MetricKind::kCounter, static_cast<double>(ex.tasks));
+    push("sky_executor_steals_total",
+         "Tasks acquired from another worker's deque",
+         obs::MetricKind::kCounter, static_cast<double>(ex.steals));
+    push("sky_executor_inline_runs_total",
+         "Task-group submissions run inline on the submitter "
+         "(caller-runs admission)",
+         obs::MetricKind::kCounter, static_cast<double>(ex.inline_runs));
+    push("sky_executor_parks_total", "Worker park (sleep) events",
+         obs::MetricKind::kCounter, static_cast<double>(ex.parks));
+    push("sky_executor_queue_depth",
+         "Tasks currently queued and not yet running",
+         obs::MetricKind::kGauge, static_cast<double>(ex.queue_depth));
+    push("sky_executor_workers", "Executor width (including a caller slot)",
+         obs::MetricKind::kGauge, static_cast<double>(executor_.threads()));
   });
 }
 
@@ -927,7 +987,7 @@ uint64_t SkylineEngine::RegisterDataset(const std::string& name, Dataset data,
   std::shared_ptr<const ShardMap> map;
   if (shards > 1 && holder->count() > 1) {
     map = std::make_shared<const ShardMap>(
-        ShardMap::Build(*holder, shards, policy));
+        ShardMap::Build(*holder, shards, policy, /*seed=*/42, &executor_));
   }
   auto sketch = std::make_shared<const StatsSketch>(ComputeSketch(*holder));
   const int dims = holder->dims();
@@ -1138,8 +1198,12 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   }
 
   // Serving-wide auto-selection overrides the caller's algorithm; the
-  // cost model then resolves per query (and per shard) below.
+  // cost model then resolves per query (and per shard) below. Every
+  // parallel stage of this request — shard fan-out, intra-shard phase
+  // loops, the merge — runs as capped task groups on the engine's shared
+  // executor; Options::threads is the request's concurrency limit there.
   Options eff = opts;
+  eff.executor = config_.shared_executor ? &executor_ : nullptr;
   if (config_.auto_algorithm) eff.algorithm = Algorithm::kAuto;
 
   // Canonicalize before keying so equivalent spellings share an entry.
@@ -1531,14 +1595,16 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
         touched_idx.push_back(s);
       }
       // Each touched shard's repair is an independent pure function of
-      // immutable inputs, so the repairs run in parallel (a pool of 1
-      // runs inline with no synchronisation). Each slot gets its own
-      // RepairStats; summed after the join.
+      // immutable inputs, so the repairs fan out as a capped task group
+      // on the engine's shared executor (a cap of 1 runs inline with no
+      // synchronisation) — no per-mutation pool construction. Each slot
+      // gets its own RepairStats; summed after the join.
       std::vector<std::shared_ptr<const Shard>> repaired(touched_idx.size());
       std::vector<RepairStats> repair_stats(touched_idx.size());
-      ThreadPool repair_pool(std::min<int>(
-          ThreadPool::DefaultThreads(),
-          static_cast<int>(touched_idx.size())));
+      ThreadPool repair_pool(&executor_,
+                             std::min<int>(
+                                 Executor::DefaultThreads(),
+                                 static_cast<int>(touched_idx.size())));
       repair_pool.ParallelFor(
           touched_idx.size(), 1, [&](size_t lo, size_t hi) {
             for (size_t t = lo; t < hi; ++t) {
@@ -1718,9 +1784,12 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
       }
       if (!touched_idx.empty()) {
         std::vector<RepairStats> repair_stats(touched_idx.size());
-        ThreadPool repair_pool(std::min<int>(
-            ThreadPool::DefaultThreads(),
-            static_cast<int>(touched_idx.size())));
+        // Shared-executor task group, not a per-mutation pool (see the
+        // insert path).
+        ThreadPool repair_pool(&executor_,
+                               std::min<int>(
+                                   Executor::DefaultThreads(),
+                                   static_cast<int>(touched_idx.size())));
         repair_pool.ParallelFor(
             touched_idx.size(), 1, [&](size_t lo, size_t hi) {
               for (size_t t = lo; t < hi; ++t) {

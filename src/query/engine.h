@@ -36,6 +36,7 @@
 #include "index/zonemap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 #include "query/cost_model.h"
 #include "query/planner.h"
 #include "query/query_spec.h"
@@ -139,6 +140,22 @@ class SkylineEngine {
     /// scales candidate costs by the learned per-algorithm ratios. Off by
     /// default so deterministic tests see the static model.
     bool cost_learning = false;
+    /// Width of the engine's shared work-stealing executor
+    /// (parallel/executor.h): every sharded query, mutation repair, and
+    /// intra-shard algorithm phase runs as capped task groups on this one
+    /// worker set, so N concurrent requests never spawn N×threads OS
+    /// threads. 0 = Executor::DefaultThreads(); 1 = fully inline (no
+    /// worker threads at all). Options::threads / the planner's
+    /// shard_threads budget become per-query concurrency limits against
+    /// this width.
+    int executor_threads = 0;
+    /// Serve queries through the shared executor (the default). Off
+    /// restores the seed's behaviour of constructing a private ThreadPool
+    /// per parallel request — kept only as the baseline arm for
+    /// bench/ablation_executor.cc and perf_smoke's concurrent-serving
+    /// gate, not a serving mode. Mutation repair always uses the shared
+    /// executor.
+    bool shared_executor = true;
   };
 
   SkylineEngine();  // default Config
@@ -253,6 +270,12 @@ class SkylineEngine {
   obs::MetricsRegistry& Metrics() { return metrics_; }
   const obs::MetricsRegistry& Metrics() const { return metrics_; }
 
+  /// The engine-owned shared scheduler every serving and mutation path
+  /// runs on (Config::executor_threads). Exposed so callers embedding the
+  /// engine can co-schedule their own work on the same bounded worker set.
+  Executor& executor() { return executor_; }
+  const Executor& executor() const { return executor_; }
+
  private:
   struct Registered {
     /// Whole-dataset rows at current ids. For sharded datasets a
@@ -339,6 +362,12 @@ class SkylineEngine {
   void WireInstruments();
 
   const Config config_;
+  /// The shared work-stealing worker set (declared before the caches so
+  /// it outlives any destructor-ordered teardown that might still touch
+  /// it). All TaskGroups are scoped inside Execute/mutation calls, which
+  /// must have returned before destruction — the usual engine-outlives-
+  /// callers contract.
+  Executor executor_;
   obs::MetricsRegistry metrics_;
   Instruments inst_;
   mutable std::shared_mutex registry_mu_;

@@ -88,6 +88,11 @@ ExecutionPlan PlanQuery(const ShardMap& map, const QuerySpec& canon,
   // budget per shard finishes in ~S * w / T — better exactly when
   // S^2 <= T. Handing in-turn shards only a T/S slice would be the
   // worst of both (S * S * w / T), so the budget is all-or-nothing.
+  // Under the engine's shared executor this budget is a concurrency
+  // *limit* (the TaskGroup cap admission control clamps a query to), not
+  // a thread count to spawn: with N queries in flight each one still
+  // plans as if it owned T, and the executor's fixed worker set is what
+  // actually bounds the machine.
   const size_t survivors = plan.shards.size();
   const int total_threads = opts.ResolvedThreads();
   plan.shard_threads =

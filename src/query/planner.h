@@ -46,11 +46,15 @@ struct ExecutionPlan {
   /// the cost model's pick for its own sketch and selectivity.
   std::vector<Algorithm> algorithms;
 
-  /// Thread budget per executed shard. 1 = the executor parallelizes
+  /// Concurrency budget per executed shard. 1 = the engine parallelizes
   /// across shards (each shard sequential). > 1 — chosen by the adaptive
-  /// planner when few shards survive a prune — makes the executor run
+  /// planner when few shards survive a prune — makes the engine run
   /// shards one after another, each with intra-shard parallelism, so a
-  /// lone surviving 2M-row shard still uses the whole thread budget.
+  /// lone surviving 2M-row shard still uses the whole budget. On the
+  /// engine's shared work-stealing executor this is a concurrency
+  /// *limit* (a TaskGroup cap over borrowed workers), not a thread count
+  /// to spawn: concurrent queries each plan against the full budget and
+  /// the executor's fixed worker set bounds the machine.
   int shard_threads = 1;
 
   /// Algorithm of the M(S) merge stage when the request was kAuto

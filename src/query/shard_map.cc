@@ -45,8 +45,9 @@ namespace {
 /// partition mask relative to the median pivot, so equal-mask points (the
 /// same orthant of the pivot) end up contiguous and each cut of the order
 /// covers a small sub-box of the space.
-std::vector<PointId> MaskOrder(const Dataset& data, uint64_t seed) {
-  ThreadPool pool(ThreadPool::DefaultThreads());
+std::vector<PointId> MaskOrder(const Dataset& data, uint64_t seed,
+                               Executor* executor) {
+  ThreadPool pool(executor, ThreadPool::DefaultThreads());
   WorkingSet ws = WorkingSet::FromDataset(data, pool);
   const DomCtx dom(ws.dims, ws.stride, /*use_simd=*/true);
   const std::vector<Value> pivot =
@@ -63,7 +64,8 @@ std::vector<PointId> MaskOrder(const Dataset& data, uint64_t seed) {
 }  // namespace
 
 ShardMap ShardMap::Build(const Dataset& data, size_t shards,
-                         ShardPolicy policy, uint64_t seed) {
+                         ShardPolicy policy, uint64_t seed,
+                         Executor* executor) {
   ShardMap map;
   map.policy_ = policy;
   map.dims_ = data.dims();
@@ -78,7 +80,7 @@ ShardMap ShardMap::Build(const Dataset& data, size_t shards,
       members[i % k].push_back(static_cast<PointId>(i));
     }
   } else {
-    const std::vector<PointId> order = MaskOrder(data, seed);
+    const std::vector<PointId> order = MaskOrder(data, seed, executor);
     for (size_t pos = 0; pos < order.size(); ++pos) {
       // Equal-size cuts of the mask order: shard s covers positions
       // [s*n/k, (s+1)*n/k).

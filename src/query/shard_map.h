@@ -19,6 +19,8 @@
 
 namespace sky {
 
+class Executor;
+
 /// How rows are assigned to shards at build time.
 enum class ShardPolicy : uint8_t {
   kRoundRobin,   ///< row i -> shard i mod K (balanced, box-agnostic)
@@ -78,9 +80,12 @@ class ShardMap {
  public:
   /// Split `data` into min(shards, max(count, 1)) shards under `policy`.
   /// `seed` feeds pivot selection. Every original row lands in exactly one
-  /// shard; shard sizes differ by at most one.
+  /// shard; shard sizes differ by at most one. The median-pivot mask pass
+  /// runs on `executor` when given (the engine passes its shared
+  /// scheduler), otherwise on a one-shot standalone pool.
   static ShardMap Build(const Dataset& data, size_t shards,
-                        ShardPolicy policy, uint64_t seed = 42);
+                        ShardPolicy policy, uint64_t seed = 42,
+                        Executor* executor = nullptr);
 
   size_t shard_count() const { return shards_.size(); }
   const Shard& shard(size_t i) const { return *shards_[i]; }

@@ -61,6 +61,7 @@ struct CliArgs {
   size_t topk = 0;        // ranked result cap (0 = all)
   size_t shards = 1;      // engine shard count (1 = unsharded)
   std::string shard_policy = "rr";  // rr|median
+  int executor_threads = 0;  // engine shared-executor width (0 = hardware)
   std::string insert_csv;  // rows to InsertPoints after registration
   std::string delete_ids;  // ids to DeletePoints after registration
   bool trace = false;      // print the per-query span tree
@@ -117,6 +118,9 @@ struct CliArgs {
       "  --shards=K       split the dataset into K engine shards; queries\n"
       "                   plan, prune and merge per shard (default 1)\n"
       "  --shard-policy=P rr|median row-to-shard assignment (default rr)\n"
+      "  --executor-threads=T width of the engine's shared work-stealing\n"
+      "                   executor (0 = all hardware threads; 1 = inline);\n"
+      "                   --threads then caps each query's share of it\n"
       "  --insert-csv=P   after load, insert the rows of file P (CSV or\n"
       "                   binary snapshot) via the incremental delta path;\n"
       "                   new rows take ids N, N+1, ...\n"
@@ -210,6 +214,8 @@ CliArgs Parse(int argc, char** argv) {
     else if (Flag(argv[i], "--shards", &v) && v)
       a.shards = static_cast<size_t>(ParseCount(v, "--shards", 1'000'000));
     else if (Flag(argv[i], "--shard-policy", &v) && v) a.shard_policy = v;
+    else if (Flag(argv[i], "--executor-threads", &v) && v)
+      a.executor_threads = std::atoi(v);
     else if (Flag(argv[i], "--insert-csv", &v) && v) a.insert_csv = v;
     else if (Flag(argv[i], "--delete-ids", &v) && v) a.delete_ids = v;
     else if (Flag(argv[i], "--trace", &v)) a.trace = true;
@@ -395,6 +401,7 @@ int main(int argc, char** argv) try {
     sky::SkylineEngine::Config cfg;
     cfg.shards = args.shards;
     cfg.shard_policy = shard_policy;
+    cfg.executor_threads = args.executor_threads;
     sky::SkylineEngine engine(cfg);
     engine.RegisterDataset("cli", std::move(data));
     if (!args.insert_csv.empty()) {
