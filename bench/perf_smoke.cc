@@ -237,6 +237,53 @@ std::pair<Entry, Entry> MetricsOverheadPair(int repeats) {
   return {on, off};
 }
 
+/// Cooperative-cancellation overhead: the same engine-served query once
+/// with no deadline (no token armed, checkpoints are a single untaken
+/// branch) and once under a deadline far too generous to ever fire (a
+/// token is armed, so every checkpoint actually polls the steady
+/// clock). Q-Flow is the algorithm with the finest checkpoint cadence
+/// (every alpha-sized window pass), making this the worst-case arm.
+/// Returns {armed, off}; ns_per_op is one Execute call (median of
+/// repeats).
+std::pair<Entry, Entry> CancelOverheadPair(int repeats) {
+  constexpr size_t kN = 20'000;
+  constexpr int kD = 8;
+  WorkloadSpec spec{Distribution::kAnticorrelated, kN, kD, 42};
+  const Dataset& data = WorkloadCache::Instance().Get(spec);
+
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const int reps = std::max(repeats, 5);
+  const auto measure = [&](double deadline_ms) {
+    SkylineEngine::Config cfg;
+    cfg.result_cache_capacity = 0;  // every Execute computes
+    SkylineEngine engine(cfg);
+    engine.RegisterDataset("smoke", data.Clone());
+    Options o;
+    o.algorithm = Algorithm::kQFlow;
+    o.threads = 1;
+    o.deadline_ms = deadline_ms;
+    engine.Execute("smoke", QuerySpec{}, o);  // warm up
+    std::vector<double> secs;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t;
+      engine.Execute("smoke", QuerySpec{}, o);
+      secs.push_back(std::max(t.Seconds(), 1e-12));
+    }
+    return median(secs);
+  };
+  char name[128];
+  std::snprintf(name, sizeof(name), "engine/cancel_armed/anti/n=%zu/d=%d",
+                kN, kD);
+  Entry armed{name, measure(/*deadline_ms=*/1e9) * 1e9, 0.0};
+  std::snprintf(name, sizeof(name), "engine/cancel_off/anti/n=%zu/d=%d", kN,
+                kD);
+  Entry off{name, measure(/*deadline_ms=*/0.0) * 1e9, 0.0};
+  return {armed, off};
+}
+
 /// Index-accelerated constrained skyline vs the non-indexed scan path:
 /// the same engine-served query — anti n=200k d=8 under a 1%-selectivity
 /// dim-0 box — once with --algo=zonemap (block AABB pruning over the
@@ -528,6 +575,24 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "perf_smoke: GATE FAILED: metrics-on serving %.3fx "
                    "metrics-off (need <= 1.03x)\n",
+                   ratio);
+      gate_ok = false;
+    }
+  }
+
+  // ---- Cancellation overhead: armed deadline token vs no token.
+  {
+    const auto [armed, off] = CancelOverheadPair(repeats);
+    entries.push_back(armed);
+    entries.push_back(off);
+    const double ratio = armed.ns_per_op / off.ns_per_op;
+    std::printf("%-48s %12.0f ns/op\n", off.name.c_str(), off.ns_per_op);
+    std::printf("%-48s %12.0f ns/op  (%.3fx baseline)\n", armed.name.c_str(),
+                armed.ns_per_op, ratio);
+    if (check && ratio > 1.03) {
+      std::fprintf(stderr,
+                   "perf_smoke: GATE FAILED: deadline-armed serving %.3fx "
+                   "the no-deadline baseline (need <= 1.03x)\n",
                    ratio);
       gate_ok = false;
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/sskyline.h"
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
@@ -174,8 +175,8 @@ Result APSkylineCompute(const Dataset& data, const Options& opts) {
     uint64_t dts = 0;
     for (size_t c = lo; c < hi; ++c) {
       if (cells[c].empty()) continue;
-      const size_t k =
-          SSkylineBlock(data, cells[c], 0, cells[c].size(), dom, &dts);
+      const size_t k = SSkylineBlock(data, cells[c], 0, cells[c].size(), dom,
+                                     &dts, opts.cancel);
       locals[c].assign(cells[c].begin(),
                        cells[c].begin() + static_cast<ptrdiff_t>(k));
     }
@@ -186,6 +187,7 @@ Result APSkylineCompute(const Dataset& data, const Options& opts) {
   // ---- Phase II: fold local skylines into the global one.
   std::vector<PointId> global;
   for (const auto& local : locals) {
+    CheckCancel(opts.cancel);  // per-fold-step deadline checkpoint
     if (local.empty()) continue;
     if (global.empty()) {
       global = local;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "baselines/skytree_common.h"
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "parallel/parallel_sort.h"
 #include "parallel/thread_pool.h"
@@ -28,8 +29,10 @@ class ParallelBuilder {
  public:
   ParallelBuilder(const WorkingSet& ws, const DomCtx& dom,
                   const std::vector<Value>& lo, const std::vector<Value>& hi,
-                  ThreadPool& pool, PivotPolicy policy, uint64_t seed)
+                  ThreadPool& pool, PivotPolicy policy, uint64_t seed,
+                  const CancelToken* cancel)
       : ws_(ws),
+        cancel_(cancel),
         dom_(dom),
         lo_(lo),
         hi_(hi),
@@ -47,6 +50,9 @@ class ParallelBuilder {
 
   uint32_t Build(std::vector<uint32_t>& pts) {
     SKY_DCHECK(!pts.empty());
+    // Deadline checkpoint per recursion step (each step handles one mask
+    // group); the partially built tree is discarded on unwind.
+    CheckCancel(cancel_);
     const size_t pivot_pos = skytree::SubsetPivotIndex(
         ws_, pts, lo_, hi_, dom_, policy_, rng_, &dts_);
     const uint32_t pivot = pts[pivot_pos];
@@ -104,6 +110,7 @@ class ParallelBuilder {
     size_t g = 0;
     std::vector<uint32_t> survivors;
     while (g < keyed.size()) {
+      CheckCancel(cancel_);  // per-mask-group deadline checkpoint
       size_t g_end = g;
       while (g_end < keyed.size() && keyed[g_end].first == keyed[g].first) {
         ++g_end;
@@ -243,6 +250,7 @@ class ParallelBuilder {
   }
 
   const WorkingSet& ws_;
+  const CancelToken* cancel_;
   const DomCtx& dom_;
   const std::vector<Value>& lo_;
   const std::vector<Value>& hi_;
@@ -273,7 +281,8 @@ Result PBSkyTreeCompute(const Dataset& data, const Options& opts) {
   const std::vector<Value> hi = data.MaxPerDim();
   st.init_seconds = phase.Lap();
 
-  ParallelBuilder builder(ws, dom, lo, hi, pool, opts.pivot, opts.seed);
+  ParallelBuilder builder(ws, dom, lo, hi, pool, opts.pivot, opts.seed,
+                          opts.cancel);
   std::vector<uint32_t> all(ws.count);
   for (size_t i = 0; i < ws.count; ++i) all[i] = static_cast<uint32_t>(i);
   builder.Build(all);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "data/sorting.h"
 #include "data/working_set.h"
@@ -39,6 +40,7 @@ Result PsfsCompute(const Dataset& data, const Options& opts) {
   std::vector<uint8_t> flags(std::min(alpha, ws.count));
 
   for (size_t b = 0; b < ws.count; b += alpha) {
+    CheckCancel(opts.cancel);  // per-block deadline checkpoint
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
     std::fill_n(flags.begin(), blen, uint8_t{0});

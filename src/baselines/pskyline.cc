@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/sskyline.h"
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "dominance/dominance.h"
 #include "parallel/thread_pool.h"
@@ -95,7 +96,10 @@ Result PSkylineCompute(const Dataset& data, const Options& opts) {
     for (size_t blk = lo; blk < hi; ++blk) {
       const size_t begin = std::min(n, blk * per);
       const size_t end = std::min(n, begin + per);
-      const size_t k = SSkylineBlock(data, idx, begin, end, dom, &dts);
+      // The in-block scan polls the token itself; a raised CancelledError
+      // is captured by the TaskGroup and rethrown at the join.
+      const size_t k =
+          SSkylineBlock(data, idx, begin, end, dom, &dts, opts.cancel);
       locals[blk].assign(idx.begin() + static_cast<ptrdiff_t>(begin),
                          idx.begin() + static_cast<ptrdiff_t>(begin + k));
     }
@@ -107,6 +111,7 @@ Result PSkylineCompute(const Dataset& data, const Options& opts) {
   // one; each fold step is internally parallel.
   std::vector<PointId> global;
   for (const auto& local : locals) {
+    CheckCancel(opts.cancel);  // per-fold-step deadline checkpoint
     if (global.empty()) {
       global = local;
     } else if (!local.empty()) {

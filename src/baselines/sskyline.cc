@@ -13,13 +13,14 @@ namespace sky {
 // the scan passes `tail`, head is a confirmed skyline point.
 size_t SSkylineBlock(const Dataset& data, std::vector<PointId>& idx,
                      size_t begin, size_t end, const DomCtx& dom,
-                     uint64_t* dts) {
+                     uint64_t* dts, const CancelToken* cancel) {
   if (begin >= end) return 0;
   size_t head = begin;
   size_t tail = end - 1;
   uint64_t local = 0;
   size_t i = head + 1;
   while (head <= tail) {
+    if ((local & 1023u) == 1023u) CheckCancel(cancel);
     if (i > tail) {
       // head confirmed: advance to the next unresolved candidate.
       ++head;

@@ -17,9 +17,12 @@ namespace sky {
 /// In-place skyline of the points listed in `idx[begin, end)` (indices
 /// into `data`). On return the first `k` slots of the range hold the
 /// block's skyline; returns k. `dts` accumulates dominance tests.
+/// `cancel` (optional) is polled every ~1k comparisons; a stop request
+/// raises CancelledError — the scan has no partial-result notion, so
+/// callers discard the block.
 size_t SSkylineBlock(const Dataset& data, std::vector<PointId>& idx,
                      size_t begin, size_t end, const DomCtx& dom,
-                     uint64_t* dts);
+                     uint64_t* dts, const CancelToken* cancel = nullptr);
 
 Result SSkylineCompute(const Dataset& data, const Options& opts);
 

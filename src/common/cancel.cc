@@ -1,0 +1,75 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/cancel.h"
+
+#include <string>
+
+namespace sky {
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kCancelled:
+      return "cancelled";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+CancelledError::CancelledError(Status reason)
+    : std::runtime_error(std::string("computation stopped: ") +
+                         StatusName(reason)),
+      reason_(reason) {}
+
+CancelToken::CancelToken(double deadline_ms) {
+  if (deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+}
+
+void CancelToken::Cancel(Status reason) const {
+  // First reason wins: the CAS keeps a later deadline observation from
+  // overwriting an explicit Cancel (or vice versa).
+  uint8_t expected = static_cast<uint8_t>(Status::kOk);
+  reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::ShouldStop() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  if (has_deadline_ &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Cancel(Status::kDeadlineExceeded);
+    return true;
+  }
+  if (parent_ != nullptr && parent_->ShouldStop()) {
+    Cancel(parent_->reason());
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::CheckIn() const {
+  if (ShouldStop()) throw CancelledError(reason());
+}
+
+Status CancelToken::reason() const {
+  if (!cancelled_.load(std::memory_order_acquire)) return Status::kOk;
+  const Status r = static_cast<Status>(reason_.load(std::memory_order_relaxed));
+  // Cancel() publishes the flag after the CAS, so a racing reader that
+  // sees the flag but an unwritten reason cannot happen; kOk here would
+  // mean Cancel(kOk), which we normalise to kCancelled.
+  return r == Status::kOk ? Status::kCancelled : r;
+}
+
+}  // namespace sky

@@ -1,0 +1,104 @@
+// Copyright (c) SkyBench-NG contributors.
+// Deadline / cooperative-cancellation primitive for the serving path.
+//
+// A CancelToken is an arm-once flag plus an optional steady-clock
+// deadline. Long-running loops poll it at block / tile boundaries
+// (ShouldStop — one relaxed load on the fast path, a clock read only
+// when a deadline is armed), so a computation overshoots its budget by
+// at most one checkpoint granule. CheckIn() turns an observed stop
+// request into a CancelledError, which unwinds the algorithm cleanly;
+// the engine catches it at the query boundary and maps it to a Status.
+// Tokens chain: a per-query token can point at a caller-owned parent so
+// either side can stop the work.
+#ifndef SKY_COMMON_CANCEL_H_
+#define SKY_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sky {
+
+/// Outcome classification for the robust serving path. kOk results carry
+/// answers; everything else is a clean refusal (the engine never returns
+/// a torn result — see query/engine.h).
+enum class Status : uint8_t {
+  kOk = 0,
+  kDeadlineExceeded,  ///< Options::deadline_ms elapsed mid-computation
+  kCancelled,         ///< an external CancelToken fired
+  kOverloaded,        ///< shed by admission control before any work ran
+  kInternalError,     ///< a worker threw; contained, engine still serving
+};
+
+const char* StatusName(Status s);
+
+/// Thrown from CancelToken::CheckIn() when a stop was requested. Crosses
+/// at most the algorithm call stack: TaskGroup captures it on worker
+/// threads and rethrows at join; SkylineEngine::Execute converts it to
+/// QueryResult::status.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(Status reason);
+  Status reason() const { return reason_; }
+
+ private:
+  Status reason_;
+};
+
+class CancelToken {
+ public:
+  /// Inert token: never stops unless Cancel() is called.
+  CancelToken() = default;
+
+  /// Token armed with a deadline `deadline_ms` from now. <= 0 arms
+  /// nothing (same as the default constructor).
+  explicit CancelToken(double deadline_ms);
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request a stop. First caller's reason wins; later calls are no-ops.
+  /// Safe from any thread; const so worker code holding a `const
+  /// CancelToken*` can trip it (the flag is logically external state).
+  void Cancel(Status reason = Status::kCancelled) const;
+
+  /// True once a stop was requested (directly, via deadline expiry, or
+  /// through the parent). Deadline expiry is latched on first
+  /// observation so subsequent calls are one relaxed load.
+  bool ShouldStop() const;
+
+  /// Throws CancelledError if ShouldStop(). The checkpoint call.
+  void CheckIn() const;
+
+  /// Why the token stopped; kOk while still running.
+  Status reason() const;
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Chain to a caller-owned token (not owned; must outlive this). A
+  /// parent stop is latched into this token on first observation.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<uint8_t> reason_{static_cast<uint8_t>(Status::kOk)};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+/// Null-tolerant checkpoint helpers so call sites stay one-liners and
+/// cost nothing when no token is threaded through Options.
+inline bool ShouldStop(const CancelToken* token) {
+  return token != nullptr && token->ShouldStop();
+}
+inline void CheckCancel(const CancelToken* token) {
+  if (token != nullptr) token->CheckIn();
+}
+
+}  // namespace sky
+
+#endif  // SKY_COMMON_CANCEL_H_

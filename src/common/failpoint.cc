@@ -1,0 +1,197 @@
+// Copyright (c) SkyBench-NG contributors.
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+namespace sky {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+FailPoints::FailPoints() {
+  const char* env = std::getenv("SKYBENCH_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string specs(env);
+  size_t start = 0;
+  while (start <= specs.size()) {
+    size_t comma = specs.find(',', start);
+    if (comma == std::string::npos) comma = specs.size();
+    const std::string one = specs.substr(start, comma - start);
+    if (!one.empty()) ArmFromSpec(one);  // malformed env specs are ignored
+    start = comma + 1;
+  }
+}
+
+const char* FailPoints::ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kThrow:
+      return "throw";
+    case Mode::kBadAlloc:
+      return "bad_alloc";
+    case Mode::kError:
+      return "error";
+    case Mode::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+bool FailPoints::ParseMode(const std::string& name, Mode* mode) {
+  if (name == "throw") {
+    *mode = Mode::kThrow;
+  } else if (name == "bad_alloc" || name == "badalloc" || name == "oom") {
+    *mode = Mode::kBadAlloc;
+  } else if (name == "error") {
+    *mode = Mode::kError;
+  } else if (name == "delay") {
+    *mode = Mode::kDelay;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void FailPoints::Arm(const std::string& site, Mode mode, double probability,
+                     int delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(site);
+  it->second.mode = mode;
+  it->second.probability = std::clamp(probability, 0.0, 1.0);
+  it->second.delay_ms = std::max(0, delay_ms);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FailPoints::ArmFromSpec(const std::string& spec, std::string* error) {
+  // site:mode[:p[:delay_ms]]
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (parts.size() < 2 || parts.size() > 4 || parts[0].empty()) {
+    return fail("expected site:mode[:p[:delay_ms]], got '" + spec + "'");
+  }
+  Mode mode;
+  if (!ParseMode(parts[1], &mode)) {
+    return fail("unknown failpoint mode '" + parts[1] +
+                "' (throw|bad_alloc|error|delay)");
+  }
+  double probability = 1.0;
+  int delay_ms = 10;
+  try {
+    if (parts.size() >= 3 && !parts[2].empty()) {
+      size_t used = 0;
+      probability = std::stod(parts[2], &used);
+      if (used != parts[2].size()) throw std::invalid_argument(parts[2]);
+    }
+    if (parts.size() == 4 && !parts[3].empty()) {
+      size_t used = 0;
+      delay_ms = std::stoi(parts[3], &used);
+      if (used != parts[3].size()) throw std::invalid_argument(parts[3]);
+    }
+  } catch (const std::exception&) {
+    return fail("bad probability/delay in failpoint spec '" + spec + "'");
+  }
+  if (probability < 0.0 || probability > 1.0) {
+    return fail("failpoint probability must be in [0,1]: '" + spec + "'");
+  }
+  Arm(parts[0], mode, probability, delay_ms);
+  return true;
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) != 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+}
+
+uint64_t FailPoints::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::Trips(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.trips;
+}
+
+std::vector<std::string> FailPoints::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) out.push_back(site);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FailPoints::Evaluate(const char* site) {
+  Mode mode;
+  int delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    SiteState& s = it->second;
+    ++s.hits;
+    if (s.probability < 1.0) {
+      // Deterministic per-site stream: replaying a run trips the same
+      // hits in the same order regardless of thread interleaving of
+      // *other* sites.
+      const uint64_t draw = SplitMix64(s.draws++);
+      const double u =
+          static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+      if (u >= s.probability) return;
+    }
+    ++s.trips;
+    mode = s.mode;
+    delay_ms = s.delay_ms;
+  }
+  switch (mode) {
+    case Mode::kThrow:
+      throw std::runtime_error(std::string("failpoint '") + site +
+                               "': injected throw");
+    case Mode::kBadAlloc:
+      throw std::bad_alloc();
+    case Mode::kError:
+      throw FailPointError(site);
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+  }
+}
+
+}  // namespace sky

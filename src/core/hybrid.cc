@@ -6,6 +6,7 @@
 #include <bit>
 
 #include "common/bits.h"
+#include "common/cancel.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/sky_structure.h"
@@ -170,6 +171,9 @@ Result HybridCompute(const Dataset& data, const Options& opts) {
   if (batch) peer_tiles.Reset(dims, std::min(alpha, ws.count));
 
   for (size_t b = 0; b < ws.count; b += alpha) {
+    // Deadline / cancellation checkpoint, once per α-block: S holds only
+    // confirmed global members, so stopping here is a clean truncation.
+    CheckCancel(opts.cancel);
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
     std::fill_n(flags.begin(), blen, uint8_t{0});

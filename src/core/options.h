@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "data/partition.h"
@@ -116,6 +117,20 @@ struct Options {
   /// SFS, SaLSa, LESS, PSFS, BSkyTree-S); others ignore it. kAuto
   /// restricts selection to these when a callback is present.
   ProgressiveCallback progressive;
+
+  /// Wall-clock budget for one computation, in milliseconds; 0 = none.
+  /// ComputeSkyline arms a CancelToken from it (chained to `cancel`
+  /// below) and the long-running loops poll at block / tile boundaries,
+  /// so a run returns within the budget plus one checkpoint granule —
+  /// by throwing CancelledError(kDeadlineExceeded). The engine converts
+  /// that to QueryResult::status (or a `truncated` partial result on
+  /// progressive-capable paths) instead of letting it escape.
+  double deadline_ms = 0;
+
+  /// Optional cooperative cancellation token (not owned; null = never
+  /// cancelled). Polled at the same checkpoints as the deadline. The
+  /// engine threads its own per-query token through here.
+  const CancelToken* cancel = nullptr;
 
   /// Resolved α for an algorithm (applies the paper defaults). kAuto
   /// resolves to a concrete algorithm before α matters; asking anyway

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/cancel.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "data/sorting.h"
@@ -68,6 +69,10 @@ Result QFlowCompute(const Dataset& data, const Options& opts) {
   std::vector<uint8_t> flags(std::min(alpha, ws.count));
 
   for (size_t b = 0; b < ws.count; b += alpha) {
+    // Deadline / cancellation checkpoint, once per α-block: everything
+    // confirmed so far (and already reported progressively) is exact, so
+    // stopping here yields a well-formed partial skyline.
+    CheckCancel(opts.cancel);
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
     std::fill_n(flags.begin(), blen, uint8_t{0});

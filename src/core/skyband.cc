@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "data/sorting.h"
 #include "data/working_set.h"
@@ -72,6 +73,7 @@ SkybandResult ComputeSkyband(const Dataset& data, uint32_t k,
   }
 
   for (size_t b = 0; b < ws.count; b += alpha) {
+    CheckCancel(opts.cancel);  // per-block deadline checkpoint
     const size_t e = std::min(b + alpha, ws.count);
     const size_t blen = e - b;
     std::fill_n(flags.begin(), blen, uint8_t{0});

@@ -17,6 +17,17 @@ Result ComputeSkyline(const Dataset& data, const Options& opts) {
     // its registration-time sketches long before reaching here).
     run.algorithm = ChooseAlgorithmForDataset(data, opts);
   }
+  // Arm the deadline here, at the one dispatch point every direct call
+  // funnels through, and chain it to any caller-provided token. The
+  // algorithms poll `run.cancel` at block / tile boundaries and unwind
+  // with CancelledError(kDeadlineExceeded); library callers see that
+  // exception, the engine converts it to QueryResult::status.
+  CancelToken deadline(run.deadline_ms);
+  if (run.deadline_ms > 0) {
+    deadline.set_parent(run.cancel);
+    run.cancel = &deadline;
+    run.deadline_ms = 0;
+  }
   return GetAlgorithmDescriptor(run.algorithm).compute(data, run);
 }
 

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/macros.h"
 #include "common/timer.h"
 #include "dominance/batch.h"
@@ -178,6 +179,10 @@ ZonemapRunResult ZonemapSkylineRun(const Dataset& data,
   std::vector<uint32_t> passed;
 
   while (!heap.empty()) {
+    // Deadline checkpoint per heap pop. The traversal is progressive:
+    // everything confirmed (and streamed) so far is exact global skyline,
+    // so stopping here truncates cleanly.
+    CheckCancel(opts.cancel);
     const HeapEntry e = heap.top();
     heap.pop();
     if (e.kind == kSuper) {

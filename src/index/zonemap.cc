@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "data/sketch.h"
 
@@ -74,6 +75,7 @@ class DimRanker {
 
 ZoneMapIndex ZoneMapIndex::Build(const Dataset& data, size_t block_rows,
                                  const StatsSketch* sketch) {
+  SKY_FAILPOINT("zonemap_build");
   ZoneMapIndex index;
   index.dims_ = data.dims();
   index.rows_ = data.count();

@@ -3,6 +3,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
+
+#include "common/failpoint.h"
 
 namespace sky {
 
@@ -221,7 +224,14 @@ void Executor::Execute(Task* t, bool stolen) {
     group->steals_.fetch_add(1, std::memory_order_relaxed);
   }
   group->NoteParticipant();
-  t->fn();
+  try {
+    SKY_FAILPOINT("executor_task");
+    t->fn();
+  } catch (...) {
+    // The worker loop is effectively noexcept: an escaping exception
+    // would terminate the process. Contain it in the group instead.
+    group->CaptureException(std::current_exception());
+  }
   delete t;
   group->FinishTask();
 }
@@ -266,7 +276,7 @@ Executor::TaskGroup::TaskGroup(Executor& exec, int max_parallelism)
           1, std::min(max_parallelism <= 0 ? exec.threads() : max_parallelism,
                       exec.threads()))) {}
 
-Executor::TaskGroup::~TaskGroup() { Wait(); }
+Executor::TaskGroup::~TaskGroup() { WaitDone(); }
 
 void Executor::TaskGroup::NoteParticipant() {
   int bit = 0;  // external caller / submitting thread
@@ -278,7 +288,22 @@ void Executor::TaskGroup::RunInline(const std::function<void()>& fn) {
   inline_runs_.fetch_add(1, std::memory_order_relaxed);
   exec_.inline_total_.fetch_add(1, std::memory_order_relaxed);
   NoteParticipant();
-  fn();
+  try {
+    fn();
+  } catch (...) {
+    // Same containment as the queued path: the submitter may be mid
+    // fork loop; the exception surfaces at Wait() like any other.
+    CaptureException(std::current_exception());
+  }
+}
+
+void Executor::TaskGroup::CaptureException(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  if (first_error_ != nullptr) return;  // first exception wins
+  first_error_ = std::move(e);
+  // Cancel cooperatively so sibling tasks polling the token unwind
+  // instead of completing a fork-join whose result will be discarded.
+  if (cancel_ != nullptr) cancel_->Cancel(Status::kCancelled);
 }
 
 void Executor::TaskGroup::FinishTask() {
@@ -304,7 +329,7 @@ void Executor::TaskGroup::Run(std::function<void()> fn) {
   exec_.Submit(new Task{std::move(fn), this});
 }
 
-void Executor::TaskGroup::Wait() {
+void Executor::TaskGroup::WaitDone() {
   // Help-first: drain acquirable work (any group's) while our tasks are
   // outstanding; tasks never block, so helping always makes progress.
   while (pending_.load(std::memory_order_acquire) > 0) {
@@ -316,10 +341,21 @@ void Executor::TaskGroup::Wait() {
   });
 }
 
+void Executor::TaskGroup::Wait() {
+  WaitDone();
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    e = std::exchange(first_error_, nullptr);
+  }
+  if (e != nullptr) std::rethrow_exception(e);
+}
+
 void Executor::TaskGroup::RunOnAll(const std::function<void(int)>& fn) {
   const int p = parallelism_;
   if (p == 1) {
     RunInline([&fn] { fn(0); });
+    Wait();  // nothing pending, but a captured exception must surface
     return;
   }
   for (int w = 1; w < p; ++w) {
@@ -336,6 +372,7 @@ void Executor::TaskGroup::ParallelFor(
   const int p = parallelism_;
   if (p == 1 || n <= grain) {
     RunInline([&fn, n] { fn(0, n); });
+    Wait();  // nothing pending, but a captured exception must surface
     return;
   }
   std::atomic<size_t> cursor{0};
@@ -360,6 +397,7 @@ void Executor::TaskGroup::ParallelForStatic(
   const int p = parallelism_;
   if (p == 1) {
     RunInline([&fn, n] { fn(0, n, 0); });
+    Wait();  // nothing pending, but a captured exception must surface
     return;
   }
   const size_t per =

@@ -20,11 +20,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/cancel.h"
 
 namespace sky {
 
@@ -81,7 +84,9 @@ class Executor {
   class TaskGroup {
    public:
     TaskGroup(Executor& exec, int max_parallelism);
-    /// Blocks until all submitted tasks have finished.
+    /// Blocks until all submitted tasks have finished. A still-pending
+    /// captured exception is dropped here (destructors cannot throw);
+    /// call Wait() explicitly to observe it.
     ~TaskGroup();
 
     TaskGroup(const TaskGroup&) = delete;
@@ -91,13 +96,22 @@ class Executor {
     int parallelism() const { return parallelism_; }
 
     /// Submit one task. May run it inline (parallelism()==1, or the group
-    /// is at its cap). Tasks must not throw.
+    /// is at its cap). A task that throws (any exception, including
+    /// std::bad_alloc) does not cross the worker loop: the group captures
+    /// the first exception, trips the attached CancelToken (if any) so
+    /// sibling tasks can stop cooperatively, and rethrows at Wait().
     void Run(std::function<void()> fn);
 
-    /// Block until every submitted task has finished. The waiting thread
-    /// helps execute queued work (any group's — help-first) before
-    /// sleeping, so a caller is never idle while its own tasks queue.
+    /// Block until every submitted task has finished, then rethrow the
+    /// first exception any of them raised. The waiting thread helps
+    /// execute queued work (any group's — help-first) before sleeping,
+    /// so a caller is never idle while its own tasks queue.
     void Wait();
+
+    /// Attach a token to cancel when a task throws, so siblings polling
+    /// it unwind instead of finishing a doomed fork-join. Not owned;
+    /// must outlive the group.
+    void set_cancel_token(const CancelToken* token) { cancel_ = token; }
 
     /// ThreadPool-shaped loops on this group's budget. Each call is a
     /// complete fork-join (returns after all its iterations finish).
@@ -116,12 +130,16 @@ class Executor {
     void RunInline(const std::function<void()>& fn);
     void NoteParticipant();
     void FinishTask();  // called by the executor after a task of ours runs
+    void CaptureException(std::exception_ptr e);
+    void WaitDone();  // the drain of Wait(), without the rethrow
 
     Executor& exec_;
     const int parallelism_;
+    const CancelToken* cancel_ = nullptr;
     std::atomic<int> pending_{0};  // queued + running tasks
     std::mutex done_mu_;
     std::condition_variable done_cv_;
+    std::exception_ptr first_error_;  // guarded by done_mu_
     // Stats (relaxed; read after Wait()).
     std::atomic<uint64_t> tasks_{0};
     std::atomic<uint64_t> inline_runs_{0};

@@ -10,6 +10,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "core/skyband.h"
 #include "core/skyline.h"
@@ -356,6 +358,11 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
   const size_t n_shards = plan.shards.size();
   std::vector<ShardPartial> parts(n_shards);
   const auto run_shard = [&](size_t s) {
+    // Cancellation/failure checkpoint per shard: a tripped token (or an
+    // armed shard_execute failpoint) unwinds into the fan-out group,
+    // which cancels the siblings and rethrows at the join.
+    CheckCancel(opts.cancel);
+    SKY_FAILPOINT("shard_execute");
     const Shard& shard = map.shard(plan.shards[s]);
     ShardPartial& p = parts[s];
     // tb->Now() only reads the immutable epoch and the steady clock, so
@@ -428,6 +435,7 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
     // Serving path: fan the shards out as one capped task group on the
     // engine's shared executor — zero pool constructions per request.
     Executor::TaskGroup group(*opts.executor, workers);
+    group.set_cancel_token(opts.cancel);
     group.ParallelFor(n_shards, 1, [&](size_t begin, size_t end) {
       for (size_t s = begin; s < end; ++s) run_shard(s);
     });
@@ -504,6 +512,10 @@ QueryResult ExecuteShardedPlan(const ShardMap& map, const ExecutionPlan& plan,
 
   // Merge stage: M(S) — copy every candidate's view-space row into one
   // union set and dominance-filter it (depth-aware for k-skybands).
+  // Checkpoint before committing to the union copy: the per-shard work
+  // above may have consumed the whole deadline budget.
+  CheckCancel(opts.cancel);
+  SKY_FAILPOINT("merge_union");
   const double merge_start = tb != nullptr ? tb->Now() : 0.0;
   uint64_t merge_dts = 0;
   const char* merge_path = "empty";
@@ -851,6 +863,9 @@ void AppendCacheMetrics(const std::string& which, const Counters& c,
        MetricKind::kCounter, static_cast<double>(c.byte_evictions));
   push(base + "ttl_evictions_total", "Entries lazily expired by the TTL",
        MetricKind::kCounter, static_cast<double>(c.ttl_evictions));
+  push(base + "stale_hits_total",
+       "TTL-expired entries returned for serve-stale fallback",
+       MetricKind::kCounter, static_cast<double>(c.stale_hits));
   push(base + "entries", "Entries currently resident", MetricKind::kGauge,
        static_cast<double>(c.entries));
   push(base + "bytes", "Priced payload bytes currently resident",
@@ -905,6 +920,16 @@ void SkylineEngine::WireInstruments() {
   inst_.zonemap_repairs = metrics_.GetCounter(
       "sky_zonemap_repairs_total", {},
       "Cached zonemap indexes repaired block-locally across a mutation");
+  inst_.deadline_exceeded = metrics_.GetCounter(
+      "sky_query_deadline_exceeded_total", {},
+      "Queries whose deadline tripped (truncated partials included)");
+  inst_.shed = metrics_.GetCounter(
+      "sky_query_shed_total", {},
+      "Fresh computes rejected by admission control");
+  inst_.degraded = metrics_.GetCounter(
+      "sky_query_degraded_total", {},
+      "Degraded answers served: stale cache entries and truncated "
+      "progressive prefixes");
   for (size_t a = 0; a < inst_.algorithm.size(); ++a) {
     inst_.algorithm[a] = metrics_.GetCounter(
         "sky_engine_algorithm_total",
@@ -1116,6 +1141,7 @@ void SkylineEngine::PutResultIfCurrent(
   // closes the in-flight-mutation race the same way: a computation that
   // started before an InsertPoints/DeletePoints batch published cannot
   // cache its (pre-mutation) answer afterwards.
+  SKY_FAILPOINT("result_cache_put");
   std::shared_lock lock(registry_mu_);
   auto it = registry_.find(name);
   if (it == registry_.end() || it->second.version != version ||
@@ -1215,7 +1241,20 @@ QueryResult SkylineEngine::Execute(const std::string& name,
   const QuerySpec canon = spec.Canonicalize(dims);
   const std::string prefix = CacheKeyPrefix(version);
   const std::string key = prefix + canon.CanonicalKey();
-  if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
+  // Lookup. Under serve_stale the keep-expired variant is used so a
+  // TTL-expired entry stays resident as the degraded fallback for a shed
+  // or timed-out compute below — the plain Get would erase it.
+  std::shared_ptr<const QueryResult> stale_fallback;
+  std::shared_ptr<const QueryResult> hit;
+  if (config_.serve_stale) {
+    bool expired = false;
+    std::shared_ptr<const QueryResult> entry =
+        cache_.GetAllowStale(key, &expired);
+    (expired ? stale_fallback : hit) = std::move(entry);
+  } else {
+    hit = cache_.Get(key);
+  }
+  if (hit != nullptr) {
     QueryResult out = *hit;
     out.cache_hit = true;
     if (config_.metrics) {
@@ -1237,6 +1276,62 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     return out;
   }
 
+  // Admission control — after the cache lookup (hits are cheap and
+  // always served), before any compute resource is committed. The
+  // in-flight gauge and the executor backlog are advisory shed
+  // thresholds, not synchronisation points, so relaxed ops suffice.
+  const int prior_inflight = inflight_.fetch_add(1, std::memory_order_relaxed);
+  struct InflightGuard {
+    std::atomic<int>& gauge;
+    ~InflightGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard{inflight_};
+  const bool over_inflight =
+      config_.max_inflight > 0 && prior_inflight >= config_.max_inflight;
+  const bool over_queue =
+      !over_inflight && config_.max_queue_depth > 0 &&
+      executor_.Counters().queue_depth > config_.max_queue_depth;
+  if (over_inflight || over_queue) {
+    QueryResult out;
+    if (stale_fallback != nullptr) {
+      out = *stale_fallback;
+      out.cache_hit = true;
+      out.stale = true;
+      if (config_.metrics) inst_.degraded->Add();
+    } else {
+      out.status = Status::kOverloaded;
+    }
+    if (config_.metrics) {
+      inst_.queries->Add();
+      inst_.shed->Add();
+      inst_.latency->Observe(timer.Seconds());
+    }
+    return out;
+  }
+
+  // Per-query deadline/cancel token, armed here rather than in
+  // ComputeSkyline so every engine stage — view and zonemap builds, the
+  // shard fan-out, the merge — shares one budget with the algorithm
+  // block loops (eff.deadline_ms is cleared so dispatch does not re-arm).
+  CancelToken query_token(eff.deadline_ms);
+  if (eff.deadline_ms > 0 || eff.cancel != nullptr) {
+    query_token.set_parent(eff.cancel);
+    eff.cancel = &query_token;
+    eff.deadline_ms = 0;
+  }
+  // Progressive requests additionally accumulate every confirmed batch
+  // (already mapped to original-dataset ids by the paths that remap
+  // before forwarding), so a deadline overrun can still answer with a
+  // well-formed partial — each id a true member — flagged `truncated`.
+  std::vector<PointId> confirmed_prefix;
+  if (eff.progressive) {
+    const ProgressiveCallback user_cb = eff.progressive;
+    std::vector<PointId>* sink = &confirmed_prefix;
+    eff.progressive = [user_cb, sink](std::span<const PointId> ids) {
+      sink->insert(sink->end(), ids.begin(), ids.end());
+      user_cb(ids);
+    };
+  }
+
   std::optional<obs::TraceBuilder> trace_builder;
   if (eff.trace) trace_builder.emplace();
   obs::TraceBuilder* tb =
@@ -1248,246 +1343,306 @@ QueryResult SkylineEngine::Execute(const std::string& name,
     tb->Attr(root, "cache", "miss");
   }
 
-  // Unsharded kAuto requests resolve here, from the registration-time
-  // sketch and the (version-keyed, cached) constraint selectivity, so
-  // RunOnTarget never has to sketch on the fly. Sharded plans resolve
-  // per shard inside PlanQuery instead.
-  if (eff.algorithm == Algorithm::kAuto &&
-      (shards == nullptr || shards->shard_count() <= 1)) {
-    SelectionContext ctx;
-    ctx.band_k = canon.band_k;
-    ctx.threads = eff.ResolvedThreads();
-    ctx.progressive = eff.progressive != nullptr;
-    ctx.zonemap_direct = canon.band_k == 1 && !canon.constraints.empty() &&
-                         canon.IsBoxOnlyTransform();
-    ctx.learner = config_.cost_learning ? &learner_ : nullptr;
-    ctx.selectivity = 1.0;
-    if (!canon.constraints.empty()) {
-      const std::string sel_key = prefix + "sel|" + canon.ViewKey();
-      if (std::shared_ptr<const SelectivityEntry> sel =
-              selectivity_cache_.Get(sel_key)) {
-        ctx.selectivity = sel->value;
-      } else {
-        ctx.selectivity =
-            EstimateConstraintSelectivity(*sketch, canon.constraints);
-        auto entry = std::make_shared<const SelectivityEntry>(
-            SelectivityEntry{ctx.selectivity, canon.constraints});
-        PutSelectivityIfCurrent(name, version, minor, sel_key,
-                                std::move(entry));
+  // Terminal handler for a compute that did not finish: map the cause to
+  // a status, attach a degraded answer where policy allows (truncated
+  // progressive prefix first — it is fresh — then a stale cache entry),
+  // and keep the metrics/trace accounting aligned with the success path.
+  // Nothing partial, stale, or failed is ever cached.
+  const auto finish_aborted = [&](Status status) {
+    QueryResult out;
+    out.status = status;
+    if (status == Status::kDeadlineExceeded) {
+      if (config_.metrics) inst_.deadline_exceeded->Add();
+      if (!confirmed_prefix.empty()) {
+        // Confirmed members only: no top-k ranking, and zero dominator
+        // counts keep the parallel-array invariant.
+        out.ids = std::move(confirmed_prefix);
+        out.dominator_counts.assign(out.ids.size(), 0u);
+        out.truncated = true;
+        if (config_.metrics) inst_.degraded->Add();
+      } else if (stale_fallback != nullptr) {
+        out = *stale_fallback;
+        out.cache_hit = true;
+        out.stale = true;
+        if (config_.metrics) inst_.degraded->Add();
       }
     }
-    eff.algorithm = canon.band_k == 1 ? ChooseAlgorithm(*sketch, ctx).algorithm
-                                      : Algorithm::kQFlow;
-  }
+    if (config_.metrics) {
+      inst_.queries->Add();
+      inst_.latency->Observe(timer.Seconds());
+    }
+    if (tb != nullptr) {
+      tb->Attr(root, "status", StatusName(out.status));
+      if (out.truncated) tb->Attr(root, "truncated", "true");
+      if (out.stale) tb->Attr(root, "stale", "true");
+      tb->Close(root);
+      out.trace = tb->Finish();
+    }
+    return out;
+  };
 
-  QueryResult fresh;
-  if (shards != nullptr && shards->shard_count() > 1) {
-    // Per-shard views are served from the view cache too, keyed by the
-    // shard index on top of the ViewKey, so a band_k / top-k sweep pays
-    // each shard's materialization once. Keys omit the minor version, so
-    // a cached view may come from a different generation of the shard
-    // than this query's snapshot (an in-flight reader races a mutation in
-    // either direction); the Shard::epoch check rejects such a view —
-    // composing its local row indices through the snapshot's row_ids
-    // would read out of bounds or return wrong global ids — and the
-    // reader rebuilds from its own snapshot instead (PutViewIfCurrent
-    // keeps a stale rebuild out of the cache).
-    const ShardViewProvider provider = [&](uint32_t shard_index,
-                                           bool* built_out) {
-      const std::string view_key = prefix + "v|s" +
-                                   std::to_string(shard_index) + "|" +
-                                   canon.ViewKey();
-      const uint64_t epoch = shards->shard(shard_index).epoch;
+  try {
+    // Unsharded kAuto requests resolve here, from the registration-time
+    // sketch and the (version-keyed, cached) constraint selectivity, so
+    // RunOnTarget never has to sketch on the fly. Sharded plans resolve
+    // per shard inside PlanQuery instead.
+    if (eff.algorithm == Algorithm::kAuto &&
+        (shards == nullptr || shards->shard_count() <= 1)) {
+      SelectionContext ctx;
+      ctx.band_k = canon.band_k;
+      ctx.threads = eff.ResolvedThreads();
+      ctx.progressive = eff.progressive != nullptr;
+      ctx.zonemap_direct = canon.band_k == 1 && !canon.constraints.empty() &&
+                           canon.IsBoxOnlyTransform();
+      ctx.learner = config_.cost_learning ? &learner_ : nullptr;
+      ctx.selectivity = 1.0;
+      if (!canon.constraints.empty()) {
+        const std::string sel_key = prefix + "sel|" + canon.ViewKey();
+        if (std::shared_ptr<const SelectivityEntry> sel =
+                selectivity_cache_.Get(sel_key)) {
+          ctx.selectivity = sel->value;
+        } else {
+          ctx.selectivity =
+              EstimateConstraintSelectivity(*sketch, canon.constraints);
+          auto entry = std::make_shared<const SelectivityEntry>(
+              SelectivityEntry{ctx.selectivity, canon.constraints});
+          PutSelectivityIfCurrent(name, version, minor, sel_key,
+                                  std::move(entry));
+        }
+      }
+      eff.algorithm = canon.band_k == 1
+                          ? ChooseAlgorithm(*sketch, ctx).algorithm
+                          : Algorithm::kQFlow;
+    }
+
+    QueryResult fresh;
+    if (shards != nullptr && shards->shard_count() > 1) {
+      // Per-shard views are served from the view cache too, keyed by the
+      // shard index on top of the ViewKey, so a band_k / top-k sweep pays
+      // each shard's materialization once. Keys omit the minor version, so
+      // a cached view may come from a different generation of the shard
+      // than this query's snapshot (an in-flight reader races a mutation in
+      // either direction); the Shard::epoch check rejects such a view —
+      // composing its local row indices through the snapshot's row_ids
+      // would read out of bounds or return wrong global ids — and the
+      // reader rebuilds from its own snapshot instead (PutViewIfCurrent
+      // keeps a stale rebuild out of the cache).
+      const ShardViewProvider provider = [&](uint32_t shard_index,
+                                             bool* built_out) {
+        const std::string view_key = prefix + "v|s" +
+                                     std::to_string(shard_index) + "|" +
+                                     canon.ViewKey();
+        const uint64_t epoch = shards->shard(shard_index).epoch;
+        std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
+        const bool rebuild = view == nullptr || view->source_epoch != epoch;
+        if (rebuild) {
+          QueryView built =
+              MaterializeView(shards->shard(shard_index).rows(), canon);
+          built.constraints = canon.constraints;
+          built.source_shard = static_cast<int>(shard_index);
+          built.source_epoch = epoch;
+          auto holder = std::make_shared<const QueryView>(std::move(built));
+          PutViewIfCurrent(name, version, minor, view_key, holder);
+          view = std::move(holder);
+          if (config_.metrics) inst_.view_builds->Add();
+        }
+        if (built_out != nullptr) *built_out = rebuild;
+        return view;
+      };
+      // Per-shard zonemap indexes for the direct path, cached next to the
+      // shard views under fixed keys (so mutations can repair them) and
+      // epoch-guarded the same way. Custom Options::block_rows bypasses the
+      // cache entirely — the executor builds privately.
+      const ZonemapProvider zonemap_provider =
+          [&](uint32_t shard_index) -> std::shared_ptr<const ZoneMapIndex> {
+        if (eff.block_rows != 0 &&
+            eff.block_rows != ZoneMapIndex::kDefaultBlockRows) {
+          return nullptr;
+        }
+        const std::string zm_key =
+            prefix + "zm|s" + std::to_string(shard_index);
+        const Shard& shard = shards->shard(shard_index);
+        std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
+        if (zm == nullptr || zm->source_epoch != shard.epoch) {
+          ZoneMapIndex built = ZoneMapIndex::Build(
+              shard.rows(), /*block_rows=*/0, &shard.sketch);
+          built.source_epoch = shard.epoch;
+          built.source_shard = static_cast<int>(shard_index);
+          auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
+          PutZonemapIfCurrent(name, version, minor, zm_key, holder);
+          zm = std::move(holder);
+        }
+        return zm;
+      };
+      int plan_span = -1;
+      if (tb != nullptr) plan_span = tb->Open("plan", root);
+      const ExecutionPlan plan =
+          PlanQuery(*shards, canon, eff, config_.metrics ? &metrics_ : nullptr,
+                    config_.cost_learning ? &learner_ : nullptr);
+      if (tb != nullptr) {
+        tb->Close(plan_span);
+        tb->AttrCount(plan_span, "shards", plan.shards.size());
+        tb->AttrCount(plan_span, "pruned", plan.pruned);
+        tb->Attr(plan_span, "merge", MergeStrategyName(plan.merge));
+        tb->AttrCount(plan_span, "shard_threads",
+                      static_cast<uint64_t>(plan.shard_threads));
+      }
+      fresh = ExecuteShardedPlan(*shards, plan, canon, eff, provider,
+                                 zonemap_provider, tb, root);
+    } else if (eff.algorithm == Algorithm::kZonemap && canon.band_k == 1 &&
+               canon.IsBoxOnlyTransform()) {
+      // Unsharded direct path: traverse the whole-dataset zonemap index
+      // against the constraint box on raw rows — first-ever sub-dataset
+      // pruning with no view materialization. The cached index is guarded
+      // by the minor version the way shard entries are guarded by epochs.
+      const bool cacheable = eff.block_rows == 0 ||
+                             eff.block_rows == ZoneMapIndex::kDefaultBlockRows;
+      const std::string zm_key = prefix + "zm|d";
+      std::shared_ptr<const ZoneMapIndex> zm;
+      if (cacheable) {
+        zm = zonemap_cache_.Get(zm_key);
+        if (zm != nullptr && zm->source_epoch != minor) zm = nullptr;
+      }
+      double build_seconds = 0.0;
+      const bool zm_built = zm == nullptr;
+      const int is = tb != nullptr ? tb->Open("zonemap", root) : -1;
+      if (zm_built) {
+        WallTimer build_timer;
+        ZoneMapIndex built =
+            ZoneMapIndex::Build(*data, eff.block_rows, sketch.get());
+        built.source_epoch = minor;
+        built.source_shard = -1;
+        build_seconds = build_timer.Seconds();
+        auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
+        if (cacheable) {
+          PutZonemapIfCurrent(name, version, minor, zm_key, holder);
+        }
+        zm = std::move(holder);
+      }
+      if (tb != nullptr) {
+        tb->Close(is);
+        tb->Attr(is, "source", zm_built ? "build" : "hit");
+        tb->AttrCount(is, "blocks", zm->block_count());
+      }
+      const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
+      fresh = RunZonemapDirect(*data, *zm, nullptr, canon, eff);
+      if (tb != nullptr) {
+        tb->Close(ex);
+        tb->Attr(ex, "algo", AlgorithmName(Algorithm::kZonemap));
+        tb->AttrCount(ex, "rows", fresh.matched_rows);
+      }
+      fresh.stats.other_seconds += build_seconds;
+      fresh.stats.total_seconds += build_seconds;
+    } else if (canon.IsIdentityTransform()) {
+      const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
+      fresh = RunOnTarget(*data, nullptr, canon, eff);
+      if (tb != nullptr) {
+        tb->Close(ex);
+        if (!fresh.shard_algorithms.empty()) {
+          tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
+        }
+        tb->AttrCount(ex, "rows", fresh.matched_rows);
+      }
+    } else {
+      // View reuse: specs sharing preferences/projection/constraints (same
+      // ViewKey) share one materialized view, so e.g. a band_k / top-k
+      // sweep over one box pays materialization once.
+      const std::string view_key = prefix + "v|" + canon.ViewKey();
+      const int vs = tb != nullptr ? tb->Open("view", root) : -1;
       std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
-      const bool rebuild = view == nullptr || view->source_epoch != epoch;
-      if (rebuild) {
-        QueryView built =
-            MaterializeView(shards->shard(shard_index).rows(), canon);
+      double build_seconds = 0.0;
+      const bool view_built = view == nullptr;
+      if (view_built) {
+        QueryView built = MaterializeView(*data, canon);
         built.constraints = canon.constraints;
-        built.source_shard = static_cast<int>(shard_index);
-        built.source_epoch = epoch;
+        built.source_shard = -1;
         auto holder = std::make_shared<const QueryView>(std::move(built));
+        build_seconds = holder->materialize_seconds;
         PutViewIfCurrent(name, version, minor, view_key, holder);
         view = std::move(holder);
         if (config_.metrics) inst_.view_builds->Add();
       }
-      if (built_out != nullptr) *built_out = rebuild;
-      return view;
-    };
-    // Per-shard zonemap indexes for the direct path, cached next to the
-    // shard views under fixed keys (so mutations can repair them) and
-    // epoch-guarded the same way. Custom Options::block_rows bypasses the
-    // cache entirely — the executor builds privately.
-    const ZonemapProvider zonemap_provider =
-        [&](uint32_t shard_index) -> std::shared_ptr<const ZoneMapIndex> {
-      if (eff.block_rows != 0 &&
-          eff.block_rows != ZoneMapIndex::kDefaultBlockRows) {
-        return nullptr;
+      if (tb != nullptr) {
+        tb->Close(vs);
+        tb->Attr(vs, "source", view_built ? "build" : "hit");
+        tb->AttrCount(vs, "rows", view->data.count());
       }
-      const std::string zm_key =
-          prefix + "zm|s" + std::to_string(shard_index);
-      const Shard& shard = shards->shard(shard_index);
-      std::shared_ptr<const ZoneMapIndex> zm = zonemap_cache_.Get(zm_key);
-      if (zm == nullptr || zm->source_epoch != shard.epoch) {
-        ZoneMapIndex built =
-            ZoneMapIndex::Build(shard.rows(), /*block_rows=*/0, &shard.sketch);
-        built.source_epoch = shard.epoch;
-        built.source_shard = static_cast<int>(shard_index);
-        auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
-        PutZonemapIfCurrent(name, version, minor, zm_key, holder);
-        zm = std::move(holder);
+      const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
+      fresh = RunOnTarget(view->data, &view->row_ids, canon, eff);
+      if (tb != nullptr) {
+        tb->Close(ex);
+        if (!fresh.shard_algorithms.empty()) {
+          tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
+        }
+        tb->AttrCount(ex, "rows", fresh.matched_rows);
       }
-      return zm;
-    };
-    int plan_span = -1;
-    if (tb != nullptr) plan_span = tb->Open("plan", root);
-    const ExecutionPlan plan =
-        PlanQuery(*shards, canon, eff, config_.metrics ? &metrics_ : nullptr,
-                  config_.cost_learning ? &learner_ : nullptr);
-    if (tb != nullptr) {
-      tb->Close(plan_span);
-      tb->AttrCount(plan_span, "shards", plan.shards.size());
-      tb->AttrCount(plan_span, "pruned", plan.pruned);
-      tb->Attr(plan_span, "merge", MergeStrategyName(plan.merge));
-      tb->AttrCount(plan_span, "shard_threads",
-                    static_cast<uint64_t>(plan.shard_threads));
+      fresh.stats.other_seconds += build_seconds;
+      fresh.stats.total_seconds += build_seconds;
     }
-    fresh = ExecuteShardedPlan(*shards, plan, canon, eff, provider,
-                               zonemap_provider, tb, root);
-  } else if (eff.algorithm == Algorithm::kZonemap && canon.band_k == 1 &&
-             canon.IsBoxOnlyTransform()) {
-    // Unsharded direct path: traverse the whole-dataset zonemap index
-    // against the constraint box on raw rows — first-ever sub-dataset
-    // pruning with no view materialization. The cached index is guarded
-    // by the minor version the way shard entries are guarded by epochs.
-    const bool cacheable = eff.block_rows == 0 ||
-                           eff.block_rows == ZoneMapIndex::kDefaultBlockRows;
-    const std::string zm_key = prefix + "zm|d";
-    std::shared_ptr<const ZoneMapIndex> zm;
-    if (cacheable) {
-      zm = zonemap_cache_.Get(zm_key);
-      if (zm != nullptr && zm->source_epoch != minor) zm = nullptr;
+    fresh.constraints = canon.constraints;
+    if (config_.cost_learning && fresh.shard_algorithms.size() == 1 &&
+        (shards == nullptr || shards->shard_count() <= 1)) {
+      // One observation per unsharded fresh compute (sharded runs overlap
+      // several algorithms in one wall time, so they stay unattributed):
+      // measured wall time against the model's prediction at the query's
+      // *measured* selectivity, so the learner corrects coefficient error
+      // rather than selectivity-estimate error.
+      SelectionContext rctx;
+      rctx.band_k = canon.band_k;
+      rctx.threads = eff.ResolvedThreads();
+      rctx.progressive = eff.progressive != nullptr;
+      rctx.selectivity = sketch->n > 0
+                             ? std::min(1.0, static_cast<double>(
+                                                 fresh.matched_rows) /
+                                                 static_cast<double>(sketch->n))
+                             : 1.0;
+      learner_.Record(
+          fresh.shard_algorithms[0],
+          EstimateAlgorithmCost(fresh.shard_algorithms[0], *sketch, rctx),
+          fresh.stats.total_seconds);
     }
-    double build_seconds = 0.0;
-    const bool zm_built = zm == nullptr;
-    const int is = tb != nullptr ? tb->Open("zonemap", root) : -1;
-    if (zm_built) {
-      WallTimer build_timer;
-      ZoneMapIndex built =
-          ZoneMapIndex::Build(*data, eff.block_rows, sketch.get());
-      built.source_epoch = minor;
-      built.source_shard = -1;
-      build_seconds = build_timer.Seconds();
-      auto holder = std::make_shared<const ZoneMapIndex>(std::move(built));
-      if (cacheable) PutZonemapIfCurrent(name, version, minor, zm_key, holder);
-      zm = std::move(holder);
-    }
-    if (tb != nullptr) {
-      tb->Close(is);
-      tb->Attr(is, "source", zm_built ? "build" : "hit");
-      tb->AttrCount(is, "blocks", zm->block_count());
-    }
-    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
-    fresh = RunZonemapDirect(*data, *zm, nullptr, canon, eff);
-    if (tb != nullptr) {
-      tb->Close(ex);
-      tb->Attr(ex, "algo", AlgorithmName(Algorithm::kZonemap));
-      tb->AttrCount(ex, "rows", fresh.matched_rows);
-    }
-    fresh.stats.other_seconds += build_seconds;
-    fresh.stats.total_seconds += build_seconds;
-  } else if (canon.IsIdentityTransform()) {
-    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
-    fresh = RunOnTarget(*data, nullptr, canon, eff);
-    if (tb != nullptr) {
-      tb->Close(ex);
-      if (!fresh.shard_algorithms.empty()) {
-        tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
+    if (config_.metrics) {
+      inst_.queries->Add();
+      // Planner decision tally: one bump per executed shard under the
+      // algorithm it actually ran (covers explicit, auto, sharded and
+      // unsharded paths uniformly).
+      for (const Algorithm a : fresh.shard_algorithms) {
+        inst_.algorithm[static_cast<size_t>(a)]->Add();
       }
-      tb->AttrCount(ex, "rows", fresh.matched_rows);
     }
-  } else {
-    // View reuse: specs sharing preferences/projection/constraints (same
-    // ViewKey) share one materialized view, so e.g. a band_k / top-k
-    // sweep over one box pays materialization once.
-    const std::string view_key = prefix + "v|" + canon.ViewKey();
-    const int vs = tb != nullptr ? tb->Open("view", root) : -1;
-    std::shared_ptr<const QueryView> view = view_cache_.Get(view_key);
-    double build_seconds = 0.0;
-    const bool view_built = view == nullptr;
-    if (view_built) {
-      QueryView built = MaterializeView(*data, canon);
-      built.constraints = canon.constraints;
-      built.source_shard = -1;
-      auto holder = std::make_shared<const QueryView>(std::move(built));
-      build_seconds = holder->materialize_seconds;
-      PutViewIfCurrent(name, version, minor, view_key, holder);
-      view = std::move(holder);
-      if (config_.metrics) inst_.view_builds->Add();
+    const int put = tb != nullptr ? tb->Open("cache.put", root) : -1;
+    try {
+      PutResultIfCurrent(name, version, minor, key,
+                         std::make_shared<const QueryResult>(fresh));
+    } catch (...) {
+      // A failed cache insert (result_cache_put failpoint) never fails
+      // the query: the computed result is simply served uncached.
     }
     if (tb != nullptr) {
-      tb->Close(vs);
-      tb->Attr(vs, "source", view_built ? "build" : "hit");
-      tb->AttrCount(vs, "rows", view->data.count());
+      tb->Close(put);
+      tb->AttrCount(root, "members", fresh.ids.size());
+      tb->Close(root);
+      fresh.trace = tb->Finish();
     }
-    const int ex = tb != nullptr ? tb->Open("execute", root) : -1;
-    fresh = RunOnTarget(view->data, &view->row_ids, canon, eff);
-    if (tb != nullptr) {
-      tb->Close(ex);
-      if (!fresh.shard_algorithms.empty()) {
-        tb->Attr(ex, "algo", AlgorithmName(fresh.shard_algorithms[0]));
-      }
-      tb->AttrCount(ex, "rows", fresh.matched_rows);
+    if (config_.metrics) {
+      const double elapsed = timer.Seconds();
+      inst_.latency->Observe(elapsed);
+      inst_.compute->Observe(elapsed);
     }
-    fresh.stats.other_seconds += build_seconds;
-    fresh.stats.total_seconds += build_seconds;
+    return fresh;
+  } catch (const CancelledError& err) {
+    // Cooperative unwind: a checkpoint observed the tripped token and
+    // threw; every TaskGroup on the way captured the exception,
+    // cancelled its siblings, and rethrew at the join — the engine,
+    // registry, and caches are exactly as before the query.
+    return finish_aborted(err.reason());
+  } catch (const std::bad_alloc&) {
+    return finish_aborted(Status::kInternalError);
+  } catch (const std::exception&) {
+    // Contained worker failure (failpoints included). Unknown datasets
+    // and invalid specs threw before this block and still propagate.
+    return finish_aborted(Status::kInternalError);
   }
-  fresh.constraints = canon.constraints;
-  if (config_.cost_learning && fresh.shard_algorithms.size() == 1 &&
-      (shards == nullptr || shards->shard_count() <= 1)) {
-    // One observation per unsharded fresh compute (sharded runs overlap
-    // several algorithms in one wall time, so they stay unattributed):
-    // measured wall time against the model's prediction at the query's
-    // *measured* selectivity, so the learner corrects coefficient error
-    // rather than selectivity-estimate error.
-    SelectionContext rctx;
-    rctx.band_k = canon.band_k;
-    rctx.threads = eff.ResolvedThreads();
-    rctx.progressive = eff.progressive != nullptr;
-    rctx.selectivity = sketch->n > 0
-                           ? std::min(1.0, static_cast<double>(
-                                               fresh.matched_rows) /
-                                               static_cast<double>(sketch->n))
-                           : 1.0;
-    learner_.Record(
-        fresh.shard_algorithms[0],
-        EstimateAlgorithmCost(fresh.shard_algorithms[0], *sketch, rctx),
-        fresh.stats.total_seconds);
-  }
-  if (config_.metrics) {
-    inst_.queries->Add();
-    // Planner decision tally: one bump per executed shard under the
-    // algorithm it actually ran (covers explicit, auto, sharded and
-    // unsharded paths uniformly).
-    for (const Algorithm a : fresh.shard_algorithms) {
-      inst_.algorithm[static_cast<size_t>(a)]->Add();
-    }
-  }
-  const int put = tb != nullptr ? tb->Open("cache.put", root) : -1;
-  PutResultIfCurrent(name, version, minor, key,
-                     std::make_shared<const QueryResult>(fresh));
-  if (tb != nullptr) {
-    tb->Close(put);
-    tb->AttrCount(root, "members", fresh.ids.size());
-    tb->Close(root);
-    fresh.trace = tb->Finish();
-  }
-  if (config_.metrics) {
-    const double elapsed = timer.Seconds();
-    inst_.latency->Observe(elapsed);
-    inst_.compute->Observe(elapsed);
-  }
-  return fresh;
 }
 
 namespace {
@@ -1608,6 +1763,10 @@ uint64_t SkylineEngine::InsertPoints(const std::string& name,
       repair_pool.ParallelFor(
           touched_idx.size(), 1, [&](size_t lo, size_t hi) {
             for (size_t t = lo; t < hi; ++t) {
+              // A repair failure (failpoint or real) unwinds out of the
+              // join below and aborts the whole batch pre-publish: the
+              // registry still holds the untouched generation.
+              SKY_FAILPOINT("shard_repair");
               const size_t s = touched_idx[t];
               repaired[t] = ShardWithInserts(map->shard(s), rows, routed[s],
                                              static_cast<PointId>(count),
@@ -1793,6 +1952,9 @@ uint64_t SkylineEngine::DeletePoints(const std::string& name,
         repair_pool.ParallelFor(
             touched_idx.size(), 1, [&](size_t lo, size_t hi) {
               for (size_t t = lo; t < hi; ++t) {
+                // Pre-publish abort on failure, exactly like the insert
+                // path's repair fan-out.
+                SKY_FAILPOINT("shard_repair");
                 const size_t s = touched_idx[t];
                 repaired[s] =
                     ShardWithDeletes(map->shard(s), drop_locals[s], shift,

@@ -22,6 +22,7 @@
 #define SKY_QUERY_ENGINE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -49,6 +50,22 @@ namespace sky {
 /// Result of one query: original-dataset row ids plus per-id dominator
 /// counts under the query's dominance relation (all zero when band_k == 1).
 struct QueryResult {
+  /// Terminal outcome of the request (common/cancel.h). kOk results carry
+  /// the exact answer (possibly `stale`); kDeadlineExceeded may carry a
+  /// `truncated` progressive prefix; kOverloaded / kCancelled /
+  /// kInternalError carry no rows. Unknown datasets and invalid specs
+  /// still throw as before — statuses cover runtime outcomes only:
+  /// deadlines, cancellation, load shedding, contained worker failures.
+  Status status = Status::kOk;
+  /// `ids` is a confirmed-but-incomplete progressive prefix cut off by a
+  /// deadline: every id is a true member of the answer, some members are
+  /// missing, and neither top-k ranking nor dominator counts were
+  /// applied. Truncated results are never cached.
+  bool truncated = false;
+  /// Served from a TTL-expired result-cache entry under
+  /// Config::serve_stale — the member set may predate recent mutations.
+  /// Stale results are re-served as-is, never re-cached.
+  bool stale = false;
   std::vector<PointId> ids;
   std::vector<uint32_t> dominator_counts;  ///< parallel to `ids`
   size_t matched_rows = 0;  ///< rows inside the constraint box
@@ -156,6 +173,23 @@ class SkylineEngine {
     /// gate, not a serving mode. Mutation repair always uses the shared
     /// executor.
     bool shared_executor = true;
+    /// Admission control: max queries computing concurrently. 0 =
+    /// unlimited. Cache hits are always served; a fresh compute over the
+    /// cap is shed immediately with Status::kOverloaded (or answered
+    /// stale under `serve_stale`). Mutations are not admission-gated.
+    int max_inflight = 0;
+    /// Shed fresh computes while the shared executor's backlog (queued,
+    /// not-yet-running tasks) exceeds this bound; 0 = unbounded. Guards
+    /// against deep fork-join pileups that `max_inflight` alone cannot
+    /// see when each query fans out many tasks.
+    size_t max_queue_depth = 0;
+    /// Degraded answers instead of failures: a shed or deadline-exceeded
+    /// query with a TTL-expired result-cache entry for its exact key is
+    /// answered from that entry, marked QueryResult::stale. Requires
+    /// result_cache_ttl > 0 to ever trigger (unexpired entries are plain
+    /// hits). Expired entries are then kept for fallback rather than
+    /// lazily erased; a successful recompute refreshes them in place.
+    bool serve_stale = false;
   };
 
   SkylineEngine();  // default Config
@@ -231,7 +265,13 @@ class SkylineEngine {
   /// callback fires during the merge stage (once partial results are
   /// confirmed global), not per shard; single-shard plans stream as the
   /// unsharded path does. Throws std::runtime_error for unknown names or
-  /// invalid specs.
+  /// invalid specs. Runtime outcomes are returned, not thrown: a deadline
+  /// (Options::deadline_ms) or caller cancellation comes back as
+  /// QueryResult::status (with a `truncated` partial on progressive
+  /// requests), admission-control rejection as kOverloaded (or a `stale`
+  /// answer under Config::serve_stale), and any exception a worker
+  /// raises mid-compute — std::bad_alloc included — is contained and
+  /// mapped to kInternalError with the engine state intact.
   QueryResult Execute(const std::string& name, const QuerySpec& spec,
                       const Options& opts = Options{});
 
@@ -353,6 +393,14 @@ class SkylineEngine {
     obs::Counter* invalidated_selectivities = nullptr;
     obs::Counter* invalidated_zonemaps = nullptr;
     obs::Counter* zonemap_repairs = nullptr;  ///< sky_zonemap_repairs_total
+    /// sky_query_deadline_exceeded_total — queries whose deadline tripped
+    /// (truncated partials included).
+    obs::Counter* deadline_exceeded = nullptr;
+    /// sky_query_shed_total — queries rejected by admission control.
+    obs::Counter* shed = nullptr;
+    /// sky_query_degraded_total — degraded answers served: stale cache
+    /// entries and truncated progressive prefixes.
+    obs::Counter* degraded = nullptr;
     /// sky_engine_algorithm_total{algo=...}, indexed by Algorithm value —
     /// one bump per executed shard (the planner decision tally).
     std::array<obs::Counter*, static_cast<size_t>(Algorithm::kAuto) + 1>
@@ -378,6 +426,10 @@ class SkylineEngine {
   /// mutations could otherwise interleave their repair work). Always
   /// acquired before registry_mu_.
   std::mutex mutation_mu_;
+  /// Fresh computes currently inside Execute (admission control's
+  /// Config::max_inflight gauge; cache hits and shed queries never
+  /// count).
+  std::atomic<int> inflight_{0};
   LruCache<QueryResult> cache_;
   LruCache<QueryView> view_cache_;
   /// Constraint-selectivity estimates, keyed by (dataset version |

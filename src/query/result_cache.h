@@ -67,6 +67,33 @@ class LruCache {
     return it->second->value;
   }
 
+  /// Like Get, but a TTL-expired entry is returned anyway — with
+  /// `*expired` set — instead of being erased: the engine's serve-stale
+  /// fallback answers a shed or timed-out query from the expired value,
+  /// and a later successful recompute's Put refreshes the entry in
+  /// place. An expired return still counts as a miss (a recompute is
+  /// expected) plus a stale_hits tick; only a fresh return promotes.
+  std::shared_ptr<const V> GetAllowStale(const std::string& key,
+                                         bool* expired) {
+    std::lock_guard<std::mutex> lock(mu_);
+    *expired = false;
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (ttl_ != Clock::duration::zero() &&
+        Clock::now() - it->second->inserted > ttl_) {
+      *expired = true;
+      ++stale_hits_;
+      ++misses_;
+      return it->second->value;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->value;
+  }
+
   /// Insert (or refresh) a value, evicting least-recently-used entries
   /// past either cap. A capacity of 0 disables caching entirely.
   void Put(const std::string& key, std::shared_ptr<const V> value) {
@@ -169,6 +196,7 @@ class LruCache {
     uint64_t evictions = 0;       ///< total evictions (any cause)
     uint64_t byte_evictions = 0;  ///< evictions forced by the byte budget
     uint64_t ttl_evictions = 0;   ///< entries lazily expired by the TTL
+    uint64_t stale_hits = 0;      ///< expired entries GetAllowStale returned
     size_t entries = 0;
     size_t bytes = 0;             ///< priced bytes currently resident
   };
@@ -181,6 +209,7 @@ class LruCache {
     c.evictions = evictions_;
     c.byte_evictions = byte_evictions_;
     c.ttl_evictions = ttl_evictions_;
+    c.stale_hits = stale_hits_;
     c.entries = order_.size();
     c.bytes = bytes_;
     return c;
@@ -211,6 +240,7 @@ class LruCache {
   uint64_t evictions_ = 0;
   uint64_t byte_evictions_ = 0;
   uint64_t ttl_evictions_ = 0;
+  uint64_t stale_hits_ = 0;
   size_t bytes_ = 0;
 };
 

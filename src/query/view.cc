@@ -1,11 +1,13 @@
 // Copyright (c) SkyBench-NG contributors.
 #include "query/view.h"
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace sky {
 
 QueryView MaterializeView(const Dataset& data, const QuerySpec& spec) {
+  SKY_FAILPOINT("view_build");
   WallTimer timer;
   QueryView view;
   const int dims = data.dims();

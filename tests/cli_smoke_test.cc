@@ -283,6 +283,85 @@ TEST(CliSmokeTest, BadAlgoListsEveryValidName) {
   }
 }
 
+TEST(CliSmokeTest, RobustServingExitCodeSemantics) {
+  // The CLI's documented exit-code contract for the robust-serving
+  // flags: 0 = served, 2 = bad flag value, 3 = runtime refusal
+  // (deadline exceeded, shed, or injected/internal failure).
+
+  // A generous deadline on a tiny workload serves normally: exit 0.
+  const CliResult ok = RunCli(
+      "--algo=qflow --dist=indep --n=400 --d=4 --seed=5 "
+      "--deadline-ms=60000 --verify");
+  EXPECT_EQ(ok.exit_code, 0) << ok.out;
+  EXPECT_NE(ok.out.find("verification: OK"), std::string::npos) << ok.out;
+
+  // An impossible deadline on a heavy parallel run: status line + exit 3
+  // on the library path (no engine flags)...
+  const CliResult late = RunCli(
+      "--algo=pskyline --dist=anti --n=200000 --d=10 --seed=5 "
+      "--deadline-ms=0.001");
+  EXPECT_EQ(late.exit_code, 3) << late.out;
+  EXPECT_NE(late.out.find("status=deadline_exceeded"), std::string::npos)
+      << late.out;
+
+  // ...and on the engine path (query flags present).
+  const CliResult engine_late = RunCli(
+      "--algo=qflow --dist=anti --n=100000 --d=8 --seed=5 --shards=2 "
+      "--deadline-ms=0.001");
+  EXPECT_EQ(engine_late.exit_code, 3) << engine_late.out;
+  EXPECT_NE(engine_late.out.find("status=deadline_exceeded"),
+            std::string::npos)
+      << engine_late.out;
+
+  // An armed failpoint that kills the compute: clean status, exit 3.
+  const CliResult injected = RunCli(
+      "--dist=indep --n=500 --d=4 --constrain=0:0.1:0.9 "
+      "--failpoint=view_build:error");
+  EXPECT_EQ(injected.exit_code, 3) << injected.out;
+  EXPECT_NE(injected.out.find("status=internal_error"), std::string::npos)
+      << injected.out;
+
+  // Delay-mode injection slows but never corrupts: exit 0 and verified.
+  const CliResult delayed = RunCli(
+      "--dist=indep --n=500 --d=4 --constrain=0:0.1:0.9 "
+      "--failpoint=view_build:delay:1:5 --verify");
+  EXPECT_EQ(delayed.exit_code, 0) << delayed.out;
+  EXPECT_NE(delayed.out.find("verification: OK"), std::string::npos)
+      << delayed.out;
+
+  // Flag-value errors stay exit 2, distinct from runtime refusals.
+  for (const char* args :
+       {"--n=50 --d=3 --deadline-ms=junk", "--n=50 --d=3 --deadline-ms=-1",
+        "--n=50 --d=3 --max-inflight=junk", "--n=50 --d=3 --failpoint=bogus",
+        "--n=50 --d=3 --failpoint=site:notamode",
+        "--n=50 --d=3 --failpoint=site:throw:2.0"}) {
+    const CliResult r = RunCli(args);
+    EXPECT_EQ(r.exit_code, 2) << args << "\n" << r.out;
+    EXPECT_NE(r.out.find("error:"), std::string::npos) << args << "\n"
+                                                       << r.out;
+  }
+
+  // The contract is printed in --help.
+  const CliResult help = RunCli("--help");
+  EXPECT_NE(help.out.find("exit codes:"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--deadline-ms"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--failpoint"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--max-inflight"), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--serve-stale"), std::string::npos) << help.out;
+}
+
+TEST(CliSmokeTest, ServeStaleAndMaxInflightRouteThroughEngine) {
+  // --serve-stale / --max-inflight are engine config; either flag alone
+  // must route the run through SkylineEngine (|result|= line, not
+  // |sky|=) and serve correctly in the absence of overload.
+  const CliResult r = RunCli(
+      "--dist=indep --n=400 --d=4 --seed=9 --serve-stale --max-inflight=8 "
+      "--verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("|result|="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verification: OK"), std::string::npos) << r.out;
+}
+
 TEST(CliSmokeTest, BadFlagExitsWithUsage) {
   const CliResult r = RunCli("--definitely-not-a-flag");
   EXPECT_EQ(r.exit_code, 2);

@@ -7,9 +7,13 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "gtest/gtest.h"
 #include "parallel/executor.h"
 #include "parallel/thread_pool.h"
@@ -279,6 +283,117 @@ TEST(ExecutorTest, EmptyAndTinyLoops) {
   EXPECT_EQ(hits.load(), 1);
   group.ParallelForStatic(0, [&](size_t, size_t, int) { hits.fetch_add(100); });
   EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ExecutorTest, WaitRethrowsFirstTaskException) {
+  Executor exec(4);
+  Executor::TaskGroup group(exec, 0);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([] { throw std::runtime_error("task died"); });
+  }
+  try {
+    group.Wait();
+    FAIL() << "Wait() must rethrow a captured task exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "task died");
+  }
+  // The group drained fully despite the failures; the executor is
+  // reusable afterwards.
+  Executor::TaskGroup next(exec, 0);
+  std::atomic<int> ran{0};
+  next.Run([&] { ran.fetch_add(1); });
+  next.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ExecutorTest, BadAllocCrossesWaitWithItsType) {
+  Executor exec(2);
+  Executor::TaskGroup group(exec, 0);
+  group.Run([]() -> void { throw std::bad_alloc(); });
+  EXPECT_THROW(group.Wait(), std::bad_alloc);
+}
+
+TEST(ExecutorTest, ThrowingTaskTripsAttachedCancelToken) {
+  // Siblings polling the attached token must observe the stop request
+  // instead of finishing a doomed fork-join.
+  Executor exec(4);
+  CancelToken token;
+  Executor::TaskGroup group(exec, 0);
+  group.set_cancel_token(&token);
+  std::atomic<int> stopped_early{0};
+  group.Run([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 4; ++i) {
+    group.Run([&] {
+      for (int spin = 0; spin < 200'000; ++spin) {
+        if (token.ShouldStop()) {
+          stopped_early.fetch_add(1);
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), Status::kCancelled);
+  // At least one sibling saw the trip before exhausting its spin budget
+  // on any machine where the failing task ran first; either way, all
+  // tasks completed and the group joined cleanly.
+  EXPECT_GE(stopped_early.load(), 0);
+}
+
+TEST(ExecutorTest, DeadlineReasonSurvivesExceptionCapture) {
+  // An exception arriving after the token already stopped for a deadline
+  // must not repaint the reason: first cause wins.
+  Executor exec(2);
+  CancelToken token;
+  token.Cancel(Status::kDeadlineExceeded);
+  Executor::TaskGroup group(exec, 0);
+  group.set_cancel_token(&token);
+  group.Run([] { throw std::runtime_error("late failure"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(token.reason(), Status::kDeadlineExceeded);
+}
+
+TEST(ExecutorTest, DestructorDropsPendingExceptionWithoutTerminating) {
+  Executor exec(2);
+  {
+    Executor::TaskGroup group(exec, 0);
+    group.Run([] { throw std::runtime_error("never observed"); });
+    // No Wait(): the destructor must drain and swallow, not std::terminate.
+  }
+  Executor::TaskGroup after(exec, 0);
+  std::atomic<int> ran{0};
+  after.Run([&] { ran.fetch_add(1); });
+  after.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ExecutorTest, ThreadPoolLoopsPropagateWorkerExceptions) {
+  // The facade delegates to TaskGroups, so both standalone and borrowed
+  // pools inherit the containment story.
+  ThreadPool standalone(4);
+  EXPECT_THROW(standalone.RunOnAll([](int worker) {
+    if (worker == 1) throw std::runtime_error("worker 1 died");
+  }),
+               std::runtime_error);
+  // The pool survives the failed fork-join.
+  std::atomic<int> visits{0};
+  standalone.RunOnAll([&](int) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), standalone.threads());
+
+  Executor exec(4);
+  ThreadPool borrowed(&exec, 4);
+  EXPECT_THROW(borrowed.ParallelFor(100, 10,
+                                    [](size_t begin, size_t) {
+                                      if (begin >= 50) throw std::bad_alloc();
+                                    }),
+               std::bad_alloc);
+  std::atomic<uint64_t> sum{0};
+  borrowed.ParallelFor(100, 10, [&](size_t begin, size_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "data/generator.h"
 #include "gtest/gtest.h"
 #include "parallel/thread_pool.h"
@@ -344,6 +345,129 @@ TEST(QueryEngineStressTest, ConcurrentMutationsDuringQueries) {
   EXPECT_EQ(final_got, expected[0].back());
   ASSERT_NE(engine.Find("ds"), nullptr);
   EXPECT_EQ(engine.Find("ds")->count(), model.size());
+  EXPECT_EQ(engine.MinorVersion("ds"), static_cast<uint64_t>(kSteps));
+}
+
+TEST(QueryEngineStressTest, FailpointChurnNeverServesWrongAnswer) {
+  // Probabilistic fault injection under concurrency: readers hammer a
+  // sharded engine with deadlines racing a writer's insert/delete script
+  // while every serving-path failpoint fires with low probability. The
+  // invariant is the robustness contract itself — each served kOk result
+  // must match SOME minor version's oracle exactly; failures must be
+  // clean statuses; and after disarming, the engine must serve the final
+  // version exactly.
+  FailPoints::Instance().DisarmAll();
+  SkylineEngine::Config config;
+  config.result_cache_capacity = 8;
+  config.shards = 4;
+  config.shard_policy = ShardPolicy::kMedianPivot;
+  SkylineEngine engine(config);
+  const Dataset base =
+      GenerateSynthetic(Distribution::kAnticorrelated, 500, 3, 71);
+  engine.RegisterDataset("ds", base.Clone());
+
+  std::vector<std::vector<Value>> model;
+  for (size_t i = 0; i < base.count(); ++i) {
+    model.emplace_back(base.Row(i), base.Row(i) + 3);
+  }
+  const auto build_model = [&] {
+    std::vector<float> flat;
+    for (const auto& row : model) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return Dataset::FromRowMajor(3, flat);
+  };
+
+  QuerySpec boxed;
+  boxed.Constrain(0, 0.1f, 0.8f);
+  const std::vector<QuerySpec> specs{QuerySpec{}, boxed};
+
+  constexpr int kSteps = 6;
+  std::vector<Dataset> insert_batches;
+  std::vector<std::vector<std::vector<PointId>>> expected(specs.size());
+  const auto snapshot_expected = [&] {
+    const Dataset now = build_model();
+    for (size_t s = 0; s < specs.size(); ++s) {
+      expected[s].push_back(Sorted(RunQuery(now, specs[s]).ids));
+    }
+  };
+  snapshot_expected();
+  for (int step = 0; step < kSteps; ++step) {
+    Dataset batch = GenerateSynthetic(Distribution::kAnticorrelated, 30, 3,
+                                      2000 + static_cast<uint64_t>(step));
+    for (size_t i = 0; i < batch.count(); ++i) {
+      model.emplace_back(batch.Row(i), batch.Row(i) + 3);
+    }
+    insert_batches.push_back(std::move(batch));
+    snapshot_expected();
+  }
+
+  // Low-probability faults on every serving site; the writer retries a
+  // step until it lands so every insert batch publishes exactly once.
+  FailPoints::Instance().Arm("view_build", FailPoints::Mode::kThrow, 0.02);
+  FailPoints::Instance().Arm("shard_execute", FailPoints::Mode::kBadAlloc,
+                             0.02);
+  FailPoints::Instance().Arm("merge_union", FailPoints::Mode::kError, 0.02);
+  FailPoints::Instance().Arm("result_cache_put", FailPoints::Mode::kThrow,
+                             0.05);
+  FailPoints::Instance().Arm("shard_repair", FailPoints::Mode::kThrow, 0.1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> clean_failures{0};
+  std::thread writer([&] {
+    for (int step = 0; step < kSteps; ++step) {
+      for (;;) {
+        try {
+          engine.InsertPoints("ds", insert_batches[static_cast<size_t>(step)]);
+          break;  // published; a retry would double-insert
+        } catch (const std::exception&) {
+          // Pre-publish abort: same batch, same target state — retry.
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  pool.RunOnAll([&](int worker) {
+    Options opts;
+    opts.threads = 1;
+    int round = 0;
+    do {
+      const size_t s = static_cast<size_t>(worker + round) % specs.size();
+      if (round % 7 == 0) opts.deadline_ms = 0.05;  // occasional budget
+      const QueryResult r = engine.Execute("ds", specs[s], opts);
+      opts.deadline_ms = 0;
+      if (r.status != Status::kOk) {
+        EXPECT_TRUE(r.ids.empty());
+        clean_failures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const std::vector<PointId> got = Sorted(r.ids);
+        bool matched = false;
+        for (const auto& version : expected[s]) {
+          if (got == version) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++round;
+    } while (!stop.load(std::memory_order_acquire) || round < 30);
+  });
+  writer.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  FailPoints::Instance().DisarmAll();
+  engine.ClearCache();
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const QueryResult final_r = engine.Execute("ds", specs[s]);
+    EXPECT_EQ(final_r.status, Status::kOk);
+    EXPECT_EQ(Sorted(final_r.ids), expected[s].back());
+  }
   EXPECT_EQ(engine.MinorVersion("ds"), static_cast<uint64_t>(kSteps));
 }
 

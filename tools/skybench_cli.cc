@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/version.h"
 #include "core/algorithm_registry.h"
 #include "core/skyline.h"
@@ -64,6 +66,13 @@ struct CliArgs {
   int executor_threads = 0;  // engine shared-executor width (0 = hardware)
   std::string insert_csv;  // rows to InsertPoints after registration
   std::string delete_ids;  // ids to DeletePoints after registration
+  // Robust serving: deadline applies to both paths; the admission /
+  // serve-stale knobs are engine config. --failpoint specs are armed
+  // directly at parse time (process-wide registry).
+  double deadline_ms = 0;  // per-query wall-clock budget (0 = none)
+  int max_inflight = 0;    // engine admission cap (0 = unlimited)
+  bool serve_stale = false;  // answer shed/timed-out queries from
+                             // expired cache entries, marked stale
   bool trace = false;      // print the per-query span tree
   std::string stats_json;  // write the engine metrics snapshot as JSON
   std::string stats_prom;  // write it as Prometheus text exposition
@@ -72,7 +81,7 @@ struct CliArgs {
     return !minmax.empty() || !project.empty() || !constrain.empty() ||
            kband != 1 || topk != 0 || shards > 1 || !insert_csv.empty() ||
            !delete_ids.empty() || trace || !stats_json.empty() ||
-           !stats_prom.empty();
+           !stats_prom.empty() || max_inflight != 0 || serve_stale;
   }
 };
 
@@ -126,13 +135,28 @@ struct CliArgs {
       "                   new rows take ids N, N+1, ...\n"
       "  --delete-ids=L   after load (and any insert), delete these row\n"
       "                   ids, e.g. 3,17,42; surviving ids compact down\n"
+      "robust serving:\n"
+      "  --deadline-ms=D  per-query wall-clock budget in milliseconds; a\n"
+      "                   run that overshoots stops at the next checkpoint\n"
+      "                   (parallel algorithms and the zonemap path only)\n"
+      "  --max-inflight=N admission cap on concurrent fresh computes in the\n"
+      "                   engine (0 = unlimited); over-cap queries are shed\n"
+      "  --serve-stale    answer shed or timed-out queries from a\n"
+      "                   TTL-expired result-cache entry, marked stale\n"
+      "  --failpoint=SPEC arm a fault-injection site, repeatable:\n"
+      "                   NAME:MODE[:P[:DELAY_MS]], MODE one of\n"
+      "                   throw|bad_alloc|error|delay (see README for the\n"
+      "                   site catalog); also via SKYBENCH_FAILPOINTS env\n"
       "observability:\n"
       "  --trace          print each query's span tree (plan, per-shard\n"
       "                   execute, merge, cache put) after the result line\n"
       "  --stats-json=P   write the engine metrics snapshot to P as JSON\n"
       "  --stats-prom=P   write it to P as Prometheus text exposition\n"
       "  --version        print build identity and exit\n"
-      "  --help           print this message and exit\n");
+      "  --help           print this message and exit\n"
+      "exit codes: 0 success; 1 --verify mismatch; 2 usage or input\n"
+      "errors; 3 query refused at runtime (deadline exceeded, shed by\n"
+      "admission control, or an injected/internal failure)\n");
   std::exit(exit_code);
 }
 
@@ -151,6 +175,20 @@ unsigned long long ParseCount(const char* text, const char* flag,
     std::exit(2);
   }
   return static_cast<unsigned long long>(v);
+}
+
+/// Strict non-negative millisecond parse for --deadline-ms (fractional
+/// budgets are allowed; junk or negatives exit 2 like every flag error).
+double ParseMillis(const char* text, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno == ERANGE || end == text || *end != '\0' || !(v >= 0)) {
+    std::fprintf(stderr, "error: %s wants a non-negative number, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Comma-separated row ids for --delete-ids. ParseIndexList is the wrong
@@ -218,6 +256,19 @@ CliArgs Parse(int argc, char** argv) {
       a.executor_threads = std::atoi(v);
     else if (Flag(argv[i], "--insert-csv", &v) && v) a.insert_csv = v;
     else if (Flag(argv[i], "--delete-ids", &v) && v) a.delete_ids = v;
+    else if (Flag(argv[i], "--deadline-ms", &v) && v)
+      a.deadline_ms = ParseMillis(v, "--deadline-ms");
+    else if (Flag(argv[i], "--max-inflight", &v) && v)
+      a.max_inflight =
+          static_cast<int>(ParseCount(v, "--max-inflight", 1'000'000));
+    else if (Flag(argv[i], "--serve-stale", &v)) a.serve_stale = true;
+    else if (Flag(argv[i], "--failpoint", &v) && v) {
+      std::string err;
+      if (!FailPoints::Instance().ArmFromSpec(v, &err)) {
+        std::fprintf(stderr, "error: --failpoint: %s\n", err.c_str());
+        std::exit(2);
+      }
+    }
     else if (Flag(argv[i], "--trace", &v)) a.trace = true;
     else if (Flag(argv[i], "--stats-json", &v) && v) a.stats_json = v;
     else if (Flag(argv[i], "--stats-prom", &v) && v) a.stats_prom = v;
@@ -260,6 +311,7 @@ Options BuildOptions(const CliArgs& a, Algorithm algo) {
   o.count_dts = true;
   o.trace = a.trace;
   o.seed = a.seed;
+  o.deadline_ms = a.deadline_ms;
   return o;
 }
 
@@ -284,7 +336,16 @@ void WriteRows(const Dataset& data, const std::vector<PointId>& ids,
 }
 
 void RunOne(const Dataset& data, Algorithm algo, const CliArgs& a) {
-  const Result r = ComputeSkyline(data, BuildOptions(a, algo));
+  Result r;
+  try {
+    r = ComputeSkyline(data, BuildOptions(a, algo));
+  } catch (const CancelledError& err) {
+    // The library path has no QueryResult::status to carry the refusal,
+    // so the deadline surfaces here as the documented runtime exit code.
+    std::printf("%-10s status=%s\n", AlgorithmName(algo),
+                StatusName(err.reason()));
+    std::exit(3);
+  }
   std::printf("%-10s time=%.4fs |sky|=%zu dts=%llu\n", AlgorithmName(algo),
               r.stats.total_seconds, r.skyline.size(),
               static_cast<unsigned long long>(r.stats.dominance_tests));
@@ -322,13 +383,22 @@ void RunQueryOne(SkylineEngine& engine, const Dataset& data, Algorithm algo,
                  const CliArgs& a) {
   const QuerySpec spec = BuildSpec(a, data.dims());
   const QueryResult r = engine.Execute("cli", spec, BuildOptions(a, algo));
+  if (r.status != Status::kOk && !r.stale) {
+    // Clean refusal: the engine returned no rows (errors never carry a
+    // result). Truncated partials need a progressive consumer, which the
+    // CLI is not, so this prints and exits with the runtime code.
+    std::printf("%-10s status=%s\n",
+                a.kband > 1 ? "skyband" : AlgorithmName(algo),
+                StatusName(r.status));
+    std::exit(3);
+  }
   // The k-skyband path is algorithm-independent (ComputeSkyband ignores
   // the algorithm selection), so labelling it with an algorithm name
   // would misattribute the timing.
-  std::printf("%-10s time=%.4fs |result|=%zu matched=%zu%s\n",
+  std::printf("%-10s time=%.4fs |result|=%zu matched=%zu%s%s\n",
               a.kband > 1 ? "skyband" : AlgorithmName(algo),
               r.stats.total_seconds, r.ids.size(), r.matched_rows,
-              r.cache_hit ? " [cached]" : "");
+              r.cache_hit ? " [cached]" : "", r.stale ? " [stale]" : "");
   if (a.shards > 1) {
     std::printf("  shards: policy=%s executed=%u pruned=%u\n",
                 a.shard_policy.c_str(), r.shards_executed, r.shards_pruned);
@@ -402,6 +472,8 @@ int main(int argc, char** argv) try {
     cfg.shards = args.shards;
     cfg.shard_policy = shard_policy;
     cfg.executor_threads = args.executor_threads;
+    cfg.max_inflight = args.max_inflight;
+    cfg.serve_stale = args.serve_stale;
     sky::SkylineEngine engine(cfg);
     engine.RegisterDataset("cli", std::move(data));
     if (!args.insert_csv.empty()) {
